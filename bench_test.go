@@ -1,0 +1,169 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each benchmark
+// regenerates its artifact end to end; reported ns/op is the cost of a full
+// regeneration at bench scale. The Overhead benchmarks time a single
+// scheduler Tick, reproducing RQ2's per-minute overhead comparison.
+//
+// Run everything:  go test -bench=. -benchmem
+// One figure:      go test -bench=BenchmarkFig8 -benchmem
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchSettings is the workload scale the benchmarks run at: large enough
+// for stable distribution shapes, small enough for -bench=. to finish in
+// minutes.
+func benchSettings() experiments.Settings {
+	s := experiments.DefaultSettings()
+	s.Functions = 600
+	s.Days = 8
+	s.TrainDays = 6
+	return s
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchSettings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Section III analysis artifacts.
+
+func BenchmarkFig3_InvocationImbalance(b *testing.B) { benchFigure(b, "3") }
+func BenchmarkFig4_ConceptShifts(b *testing.B)       { benchFigure(b, "4") }
+func BenchmarkFig5_TriggerMix(b *testing.B)          { benchFigure(b, "5") }
+func BenchmarkFig6_TemporalLocality(b *testing.B)    { benchFigure(b, "6") }
+func BenchmarkCORStats(b *testing.B)                 { benchFigure(b, "cor") }
+
+// RQ1: cold-start reduction.
+
+func BenchmarkFig8_ColdStartCDF(b *testing.B) { benchFigure(b, "8") }
+func BenchmarkFig9a_MemoryUsage(b *testing.B) { benchFigure(b, "9a") }
+func BenchmarkFig9b_AlwaysCold(b *testing.B)  { benchFigure(b, "9b") }
+func BenchmarkFig10_PerTypeCSR(b *testing.B)  { benchFigure(b, "10") }
+
+// RQ2: memory waste.
+
+func BenchmarkFig11a_WMT(b *testing.B)            { benchFigure(b, "11a") }
+func BenchmarkFig11b_EMCR(b *testing.B)           { benchFigure(b, "11b") }
+func BenchmarkFig12_PerTypeWMTRatio(b *testing.B) { benchFigure(b, "12") }
+
+// RQ3: trade-off sweeps.
+
+func BenchmarkFig13a_PrewarmSweep(b *testing.B) { benchFigure(b, "13a") }
+func BenchmarkFig13b_GivenupSweep(b *testing.B) { benchFigure(b, "13b") }
+
+// RQ4: ablations.
+
+func BenchmarkFig14_CorrAblation(b *testing.B)     { benchFigure(b, "14") }
+func BenchmarkFig15_AdaptiveAblation(b *testing.B) { benchFigure(b, "15") }
+
+// RQ2's overhead comparison: per-Tick cost of each policy over the same
+// simulated stream, the number the paper reports as "overhead per minute".
+
+func overheadBench(b *testing.B, mk func(capacity int) sim.Policy) {
+	b.Helper()
+	s := benchSettings()
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy := mk(train.NumFunctions() / 10)
+	policy.Train(train)
+	idx := simTr.BuildSlotIndex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := i % simTr.Slots
+		policy.Tick(t, idx.Invocations[t])
+	}
+}
+
+func BenchmarkOverhead_SPES(b *testing.B) {
+	overheadBench(b, func(int) sim.Policy { return core.New(core.DefaultConfig()) })
+}
+
+func BenchmarkOverhead_Fixed(b *testing.B) {
+	overheadBench(b, func(int) sim.Policy { return baselines.NewFixedKeepAlive(10) })
+}
+
+func BenchmarkOverhead_HybridFunction(b *testing.B) {
+	overheadBench(b, func(int) sim.Policy {
+		return baselines.NewHybridFunction(baselines.DefaultHybridConfig())
+	})
+}
+
+func BenchmarkOverhead_HybridApplication(b *testing.B) {
+	overheadBench(b, func(int) sim.Policy {
+		return baselines.NewHybridApplication(baselines.DefaultHybridConfig())
+	})
+}
+
+func BenchmarkOverhead_Defuse(b *testing.B) {
+	overheadBench(b, func(int) sim.Policy {
+		return baselines.NewDefuse(baselines.DefaultDefuseConfig())
+	})
+}
+
+func BenchmarkOverhead_FaaSCache(b *testing.B) {
+	overheadBench(b, func(capacity int) sim.Policy { return baselines.NewFaaSCache(capacity) })
+}
+
+func BenchmarkOverhead_LCS(b *testing.B) {
+	overheadBench(b, func(capacity int) sim.Policy { return baselines.NewLCS(capacity) })
+}
+
+// Substrate micro-benchmarks: the pieces the end-to-end numbers decompose
+// into (workload synthesis, categorization, a full simulator run).
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(trace.DefaultGeneratorConfig(500, 4, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfflineCategorization(b *testing.B) {
+	s := benchSettings()
+	_, train, _, err := experiments.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy := core.New(core.DefaultConfig())
+		policy.Train(train)
+	}
+}
+
+func BenchmarkFullSimulation_SPES(b *testing.B) {
+	s := benchSettings()
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

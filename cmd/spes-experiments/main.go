@@ -1,0 +1,45 @@
+// Command spes-experiments regenerates the tables and figures of the
+// paper's evaluation section (see DESIGN.md's experiment index).
+//
+//	spes-experiments -fig 8             # one figure
+//	spes-experiments -fig all           # everything
+//	spes-experiments -fig 13a -functions 3000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (3,4,5,6,cor,8,9a,9b,10,11a,11b,12,13a,13b,14,15,overhead) or 'all'")
+	functions := flag.Int("functions", 2000, "workload: function count")
+	days := flag.Int("days", 14, "workload: days")
+	trainDays := flag.Int("train-days", 12, "workload: training days")
+	seed := flag.Int64("seed", 1, "workload: seed")
+	flag.Parse()
+
+	s := experiments.DefaultSettings()
+	s.Functions = *functions
+	s.Days = *days
+	s.TrainDays = *trainDays
+	s.Seed = *seed
+
+	var err error
+	if *fig == "all" {
+		err = experiments.RunAllFigures(os.Stdout, s)
+	} else {
+		var runner experiments.Runner
+		runner, err = experiments.Lookup(*fig)
+		if err == nil {
+			err = runner(os.Stdout, s)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spes-experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command spes-sim runs one provisioning policy over a workload and prints
+// the paper's metrics: cold-start rate quantiles, wasted memory time,
+// effective memory consumption ratio, and per-type breakdowns for SPES.
+//
+// Workloads come from a generated trace (default) or an Azure-schema CSV:
+//
+//	spes-sim -policy spes -functions 2000 -days 14 -train-days 12
+//	spes-sim -policy defuse -trace trace.csv -train-days 12
+//
+// Policies: spes, fixed, hf, ha, defuse, faascache, lcs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spes-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	policyName := flag.String("policy", "spes", "policy: spes|fixed|hf|ha|defuse|faascache|lcs")
+	tracePath := flag.String("trace", "", "Azure-schema CSV to simulate (default: generate)")
+	functions := flag.Int("functions", 2000, "generated trace: function count")
+	days := flag.Int("days", 14, "generated trace: length in days")
+	trainDays := flag.Int("train-days", 12, "days used for training; the rest simulate")
+	seed := flag.Int64("seed", 1, "generator seed")
+	capacity := flag.Int("capacity", 0, "faascache/lcs capacity (0: 10% of functions)")
+	prewarm := flag.Int("theta-prewarm", 2, "SPES pre-warm window")
+	flag.Parse()
+
+	var full *trace.Trace
+	var err error
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		full, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		full, err = trace.Generate(trace.DefaultGeneratorConfig(*functions, *days, *seed))
+		if err != nil {
+			return err
+		}
+	}
+	splitAt := *trainDays * 1440
+	if splitAt <= 0 || splitAt >= full.Slots {
+		return fmt.Errorf("train-days %d out of range for a %d-slot trace", *trainDays, full.Slots)
+	}
+	train, simTr := full.Split(splitAt)
+
+	cap := *capacity
+	if cap <= 0 {
+		cap = full.NumFunctions() / 10
+		if cap < 1 {
+			cap = 1
+		}
+	}
+	var policy sim.Policy
+	switch *policyName {
+	case "spes":
+		cfg := core.DefaultConfig()
+		cfg.Classify.ThetaPrewarm = *prewarm
+		policy = core.New(cfg)
+	case "fixed":
+		policy = baselines.NewFixedKeepAlive(10)
+	case "hf":
+		policy = baselines.NewHybridFunction(baselines.DefaultHybridConfig())
+	case "ha":
+		policy = baselines.NewHybridApplication(baselines.DefaultHybridConfig())
+	case "defuse":
+		policy = baselines.NewDefuse(baselines.DefaultDefuseConfig())
+	case "faascache":
+		policy = baselines.NewFaaSCache(cap)
+	case "lcs":
+		policy = baselines.NewLCS(cap)
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	res, err := sim.Run(policy, train, simTr, sim.Options{MeasureOverhead: true})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("policy: %s | %d functions | %d sim minutes\n", res.Policy, res.Functions, res.Slots)
+	tab := report.NewTable("Metric", "Value")
+	tab.AddRow("invocations", fmt.Sprint(res.TotalInvocations))
+	tab.AddRow("invoked (function, slot) pairs", fmt.Sprint(res.TotalInvokedSlot))
+	tab.AddRow("cold starts", fmt.Sprint(res.TotalColdStarts))
+	tab.AddRow("global CSR", fmt.Sprintf("%.4f", res.GlobalCSR()))
+	tab.AddRow("Q3-CSR (75th pct function-wise)", fmt.Sprintf("%.4f", res.QuantileCSR(0.75)))
+	tab.AddRow("P90-CSR", fmt.Sprintf("%.4f", res.QuantileCSR(0.90)))
+	tab.AddRow("warm (never-cold) functions", fmt.Sprintf("%.2f%%", 100*res.WarmFraction()))
+	tab.AddRow("always-cold functions", fmt.Sprintf("%.2f%%", 100*res.AlwaysColdFraction()))
+	tab.AddRow("mean loaded instances", fmt.Sprintf("%.1f", res.MeanLoaded()))
+	tab.AddRow("peak loaded instances", fmt.Sprint(res.MaxLoaded))
+	tab.AddRow("wasted memory time (min)", fmt.Sprint(res.TotalWMT))
+	tab.AddRow("EMCR", fmt.Sprintf("%.2f%%", 100*res.EMCR()))
+	tab.AddRow("mean tick overhead", res.OverheadPerSlot().String())
+	tab.Render(os.Stdout)
+
+	if res.Types != nil {
+		meanCSR, meanWMT, counts := res.TypeBreakdown()
+		fmt.Println("\nper-type breakdown:")
+		tb := report.NewTable("Type", "Functions", "Mean CSR", "WMT/invocation")
+		for _, label := range report.SortedKeys(counts) {
+			tb.AddRow(label, fmt.Sprint(counts[label]),
+				fmt.Sprintf("%.4f", meanCSR[label]), fmt.Sprintf("%.2f", meanWMT[label]))
+		}
+		tb.Render(os.Stdout)
+	}
+	return nil
+}

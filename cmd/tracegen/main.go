@@ -1,0 +1,53 @@
+// Command tracegen synthesizes an Azure-like serverless invocation trace
+// and writes it in the Azure Functions 2019 CSV schema, so downstream tools
+// (and the real dataset) are interchangeable.
+//
+// Usage:
+//
+//	tracegen -functions 2000 -days 14 -seed 1 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	functions := flag.Int("functions", 2000, "number of functions to generate")
+	days := flag.Int("days", 14, "trace length in days")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "trace.csv", "output CSV path (- for stdout)")
+	shift := flag.Float64("shift", 0.10, "fraction of functions with concept shifts")
+	chain := flag.Float64("chain", 0.40, "fraction of multi-function apps forming chains")
+	flag.Parse()
+
+	cfg := trace.DefaultGeneratorConfig(*functions, *days, *seed)
+	cfg.ShiftFraction = *shift
+	cfg.ChainFraction = *chain
+
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d functions x %d days (%d invocations) to %s\n",
+		tr.NumFunctions(), *days, tr.TotalInvocations(), *out)
+}

@@ -1,0 +1,93 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// FixedKeepAlive keeps every function loaded for a fixed number of minutes
+// after its last invocation — the classic OpenWhisk-style policy the paper
+// runs with a 10-minute window.
+type FixedKeepAlive struct {
+	keepAlive int
+	name      string
+
+	set    *loadedSet
+	agenda *agenda
+	last   []int // last invocation slot per function, -1 when never
+}
+
+// NewFixedKeepAlive creates the policy; keepAlive is in slots (minutes) and
+// must be positive.
+func NewFixedKeepAlive(keepAlive int) *FixedKeepAlive {
+	if keepAlive <= 0 {
+		panic(fmt.Sprintf("baselines: keep-alive must be positive, got %d", keepAlive))
+	}
+	return &FixedKeepAlive{
+		keepAlive: keepAlive,
+		name:      fmt.Sprintf("Fixed-%dmin", keepAlive),
+	}
+}
+
+// Name implements sim.Policy.
+func (p *FixedKeepAlive) Name() string { return p.name }
+
+// Train implements sim.Policy. The fixed policy has no model to fit, but it
+// carries its end-of-training state into the simulation: a function invoked
+// within the keep-alive window before the boundary starts the simulation
+// loaded, exactly as if the policy had been running all along.
+func (p *FixedKeepAlive) Train(training *trace.Trace) {
+	p.init(training.NumFunctions())
+	for fid, s := range training.Series {
+		last := s.LastSlot()
+		if last < 0 {
+			continue
+		}
+		rebased := int(last) - training.Slots // negative: slots before sim start
+		p.last[fid] = rebased
+		if expire := rebased + p.keepAlive; expire > 0 {
+			p.set.add(trace.FuncID(fid))
+			p.agenda.schedule(expire, fid, 0)
+		}
+	}
+}
+
+func (p *FixedKeepAlive) init(n int) {
+	p.set = newLoadedSet(n)
+	p.agenda = newAgenda(n)
+	p.last = make([]int, n)
+	for i := range p.last {
+		p.last[i] = -1
+	}
+}
+
+// Tick implements sim.Policy.
+func (p *FixedKeepAlive) Tick(t int, invs []trace.FuncCount) {
+	if p.set == nil {
+		// Tolerate missing Train for ad-hoc use; grow on demand.
+		max := 0
+		for _, fc := range invs {
+			if int(fc.Func) >= max {
+				max = int(fc.Func) + 1
+			}
+		}
+		p.init(max)
+	}
+	for _, fc := range invs {
+		f := int(fc.Func)
+		p.last[f] = t
+		p.agenda.bump(f)
+		p.agenda.schedule(t+p.keepAlive, f, 0)
+		p.set.add(fc.Func)
+	}
+	p.agenda.drain(t, func(owner, _ int) {
+		p.set.remove(trace.FuncID(owner))
+	})
+}
+
+// Loaded implements sim.Policy.
+func (p *FixedKeepAlive) Loaded(f trace.FuncID) bool { return p.set.has(f) }
+
+// LoadedCount implements sim.Policy.
+func (p *FixedKeepAlive) LoadedCount() int { return p.set.count }

@@ -1,0 +1,170 @@
+package classify
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Outcome is the offline categorization result for an entire trace.
+type Outcome struct {
+	Profiles []Profile // indexed by trace.FuncID
+}
+
+// Count returns how many functions landed in each type.
+func (o *Outcome) Count() map[Type]int {
+	counts := make(map[Type]int)
+	for _, p := range o.Profiles {
+		counts[p.Type]++
+	}
+	return counts
+}
+
+// Categorize runs SPES's complete offline phase over a training trace:
+// deterministic categorization with forgetting, correlation mining over
+// application/user co-membership, and validation-scored indeterminate
+// assignment. Ablation switches: disableCorrelation drops the correlated
+// strategy (Fig. 14's "w/o Corr"), disableForgetting skips the forgetting
+// rule (Fig. 15's "w/o Forgetting").
+func Categorize(training *trace.Trace, cfg Config, disableCorrelation, disableForgetting bool) *Outcome {
+	n := training.NumFunctions()
+	out := &Outcome{Profiles: make([]Profile, n)}
+	valStart := int(float64(training.Slots) * (1 - cfg.ValidationFrac))
+	if valStart <= 0 || valStart >= training.Slots {
+		valStart = training.Slots / 2
+	}
+
+	// Pass 1: deterministic (with forgetting), collecting the leftovers.
+	dense := make([]int, training.Slots) // reusable dense buffer
+	var indeterminate []trace.FuncID
+	for fid := 0; fid < n; fid++ {
+		s := training.Series[fid]
+		if len(s) == 0 {
+			out.Profiles[fid] = Profile{Type: TypeUnknown}
+			continue
+		}
+		for i := range dense {
+			dense[i] = 0
+		}
+		for _, e := range s {
+			dense[e.Slot] = int(e.Count)
+		}
+		var p Profile
+		var ok bool
+		if disableForgetting {
+			p, ok = CategorizeDeterministic(dense, cfg)
+		} else {
+			p, ok = CategorizeWithForgetting(dense, cfg)
+		}
+		if ok {
+			out.Profiles[fid] = p
+			continue
+		}
+		indeterminate = append(indeterminate, trace.FuncID(fid))
+	}
+	if len(indeterminate) == 0 {
+		return out
+	}
+
+	// Invoked-slot lists (full training window) for correlation mining, and
+	// validation-window fire lists for strategy scoring.
+	invoked := make([][]int32, n)
+	valFires := make([][]int32, n)
+	for fid := 0; fid < n; fid++ {
+		for _, e := range training.Series[fid] {
+			invoked[fid] = append(invoked[fid], e.Slot)
+			if int(e.Slot) >= valStart {
+				valFires[fid] = append(valFires[fid], e.Slot-int32(valStart))
+			}
+		}
+	}
+
+	// Candidate sets: functions sharing an application or a user.
+	apps := training.AppFunctions()
+	users := training.UserFunctions()
+	meta := training.Functions
+
+	for _, fid := range indeterminate {
+		s := training.Series[fid]
+		for i := range dense {
+			dense[i] = 0
+		}
+		for _, e := range s {
+			dense[e.Slot] = int(e.Count)
+		}
+
+		var links []Link
+		var candFires [][]int32
+		if !disableCorrelation {
+			links = mineLinks(fid, invoked, apps[meta[fid].App], users[meta[fid].User], cfg)
+			for _, l := range links {
+				candFires = append(candFires, valFires[l.Cand])
+			}
+		}
+		out.Profiles[fid] = AssignIndeterminate(dense, valStart, links, candFires, cfg)
+	}
+	return out
+}
+
+// mineLinks computes T-lagged COR between the target and every candidate
+// sharing its application or user, accepting candidates whose best lagged
+// COR clears the threshold. Links are ordered by descending COR and capped
+// at a small fan-in to bound online work.
+func mineLinks(target trace.FuncID, invoked [][]int32, appPeers, userPeers []trace.FuncID, cfg Config) []Link {
+	const maxLinks = 5
+	targetSlots := invoked[target]
+	if len(targetSlots) == 0 {
+		return nil
+	}
+	seen := map[trace.FuncID]bool{target: true}
+	type scored struct {
+		link Link
+		cor  float64
+	}
+	var accepted []scored
+	consider := func(cand trace.FuncID) {
+		if seen[cand] {
+			return
+		}
+		seen[cand] = true
+		candSlots := invoked[cand]
+		if len(candSlots) == 0 {
+			return
+		}
+		lag, cor := BestLaggedCOR(targetSlots, candSlots, cfg.MaxLag)
+		if cor < cfg.CORThreshold {
+			return
+		}
+		// Precision gate: most of the candidate's fires must actually
+		// precede a target invocation, otherwise pre-loading on its fires
+		// wastes memory continuously.
+		slack := int32(cfg.ValidationPrewarm)
+		if slack <= 0 {
+			slack = int32(cfg.ThetaPrewarm)
+		}
+		if FollowRate(candSlots, targetSlots, lag, slack) < cfg.LinkPrecision {
+			return
+		}
+		accepted = append(accepted, scored{link: Link{Cand: int32(cand), Lag: lag}, cor: cor})
+	}
+	for _, c := range appPeers {
+		consider(c)
+	}
+	for _, c := range userPeers {
+		consider(c)
+	}
+	sort.Slice(accepted, func(i, j int) bool {
+		if accepted[i].cor != accepted[j].cor {
+			return accepted[i].cor > accepted[j].cor
+		}
+		return accepted[i].link.Cand < accepted[j].link.Cand
+	})
+	if len(accepted) > maxLinks {
+		accepted = accepted[:maxLinks]
+	}
+	links := make([]Link, len(accepted))
+	for i, a := range accepted {
+		links[i] = a.link
+	}
+	return links
+}

@@ -1,0 +1,289 @@
+package classify
+
+import (
+	"testing"
+)
+
+func TestScorePulsed(t *testing.T) {
+	// Invocations at 0,1,2 then 50,51: one wave break.
+	invoked := []int32{0, 1, 2, 50, 51}
+	cost := scorePulsed(invoked, 100, 5)
+	if !cost.Feasible {
+		t.Fatal("pulsed must always be feasible")
+	}
+	// Cold at 0; gap 0 between 0-1, 1-2; gap 47 >= 5 -> cold at 50, waste 4;
+	// gap 0 between 50-51; trailing 48 -> waste 4.
+	if cost.ColdStarts != 2 {
+		t.Errorf("cold starts = %d, want 2", cost.ColdStarts)
+	}
+	if cost.WastedMem != 8 {
+		t.Errorf("wasted = %d, want 8", cost.WastedMem)
+	}
+}
+
+func TestScorePulsedShortGaps(t *testing.T) {
+	// Gaps below theta keep the function warm at a cost of the idle slots.
+	invoked := []int32{0, 3, 6}
+	cost := scorePulsed(invoked, 7, 5)
+	if cost.ColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1", cost.ColdStarts)
+	}
+	// gaps of 2 and 2 wasted, trailing 0.
+	if cost.WastedMem != 4 {
+		t.Errorf("wasted = %d, want 4", cost.WastedMem)
+	}
+}
+
+func TestScorePulsedEmpty(t *testing.T) {
+	cost := scorePulsed(nil, 100, 5)
+	if cost.ColdStarts != 0 || cost.WastedMem != 0 || !cost.Feasible {
+		t.Errorf("empty pulsed = %+v", cost)
+	}
+}
+
+func TestScorePossiblePerfectPrediction(t *testing.T) {
+	// Period-10 invocations with predictive value 9 (the WT): every
+	// subsequent invocation lands in the pre-warm window.
+	invoked := []int32{0, 10, 20, 30}
+	cost := scorePossible(invoked, 40, []int{9}, 2, 1)
+	if !cost.Feasible {
+		t.Fatal("possible with values must be feasible")
+	}
+	if cost.ColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1 (only the first)", cost.ColdStarts)
+	}
+	// Waste: each gap has a pre-warm window of 5 slots (9±2 around pred)
+	// clipped to idle slots, minus the theta-1=0 keep-alive overlap.
+	if cost.WastedMem == 0 {
+		t.Error("pre-warming should cost some idle coverage")
+	}
+	if cost.WastedMem > 15 {
+		t.Errorf("wasted = %d, too much", cost.WastedMem)
+	}
+}
+
+func TestScorePossibleBadPrediction(t *testing.T) {
+	// Predictive value far from the actual gaps: everything cold.
+	invoked := []int32{0, 50, 100}
+	cost := scorePossible(invoked, 150, []int{10}, 2, 1)
+	if cost.ColdStarts != 3 {
+		t.Errorf("cold starts = %d, want 3", cost.ColdStarts)
+	}
+}
+
+func TestScorePossibleInfeasible(t *testing.T) {
+	if cost := scorePossible([]int32{1, 2}, 10, nil, 2, 1); cost.Feasible {
+		t.Error("possible without values must be infeasible")
+	}
+}
+
+func TestScoreCorrelated(t *testing.T) {
+	target := []int32{10, 20, 30}
+	cand := [][]int32{{8, 18, 28}}
+	cost := scoreCorrelated(target, cand, []int32{2}, 40, 2)
+	if !cost.Feasible {
+		t.Fatal("correlated with fires must be feasible")
+	}
+	if cost.ColdStarts != 0 {
+		t.Errorf("cold starts = %d, want 0 (candidate precedes every fire)", cost.ColdStarts)
+	}
+	// Each fire covers [c+1, c+4] (lag 2 +/- prewarm 2, clipped): 4 slots,
+	// one of which is the invocation -> 3 wasted per fire.
+	if cost.WastedMem != 9 {
+		t.Errorf("wasted = %d, want 9", cost.WastedMem)
+	}
+}
+
+func TestScoreCorrelatedMisses(t *testing.T) {
+	target := []int32{10, 35}
+	cand := [][]int32{{8}}
+	cost := scoreCorrelated(target, cand, []int32{2}, 50, 2)
+	if cost.ColdStarts != 1 {
+		t.Errorf("cold starts = %d, want 1 (35 unpredicted)", cost.ColdStarts)
+	}
+}
+
+func TestScoreCorrelatedInfeasible(t *testing.T) {
+	if cost := scoreCorrelated([]int32{1}, nil, nil, 10, 2); cost.Feasible {
+		t.Error("correlated without candidates must be infeasible")
+	}
+	if cost := scoreCorrelated([]int32{1}, [][]int32{{}}, []int32{1}, 10, 2); cost.Feasible {
+		t.Error("correlated with only-empty candidates must be infeasible")
+	}
+}
+
+func TestScoreCorrelatedDefaultLag(t *testing.T) {
+	// Missing or zero lag defaults to 1.
+	target := []int32{10}
+	cand := [][]int32{{9}}
+	cost := scoreCorrelated(target, cand, nil, 20, 0)
+	if cost.ColdStarts != 0 {
+		t.Errorf("cold starts = %d, want 0 (lag-1 window covers slot 10)", cost.ColdStarts)
+	}
+}
+
+func TestChooseStrategyDominant(t *testing.T) {
+	costs := []StrategyCost{
+		{ColdStarts: 5, WastedMem: 100, Feasible: true},
+		{ColdStarts: 2, WastedMem: 50, Feasible: true}, // dominates
+		{ColdStarts: 9, WastedMem: 60, Feasible: true},
+	}
+	if got := ChooseStrategy(costs, 0.5); got != 1 {
+		t.Errorf("ChooseStrategy = %d, want 1", got)
+	}
+}
+
+func TestChooseStrategyTradeOff(t *testing.T) {
+	// Strategy 0: fewest cold starts; strategy 1: least waste.
+	costs := []StrategyCost{
+		{ColdStarts: 2, WastedMem: 200, Feasible: true},
+		{ColdStarts: 4, WastedMem: 100, Feasible: true},
+	}
+	// dcs = (4-2)/2 = 1; dwm = (200-100)/100 = 1.
+	// alpha=0.5: 0.5 <= 1 -> pick the cold-start winner.
+	if got := ChooseStrategy(costs, 0.5); got != 0 {
+		t.Errorf("alpha=0.5 -> %d, want 0", got)
+	}
+	// alpha just above 1 would flip (alpha is <1 by definition, so test the
+	// boundary instead): dcs*1.0 <= dwm still picks 0.
+	if got := ChooseStrategy(costs, 1.0); got != 0 {
+		t.Errorf("alpha=1.0 -> %d, want 0", got)
+	}
+	// Make waste rise negligible: pick the memory winner when cold-start
+	// rise is huge.
+	costs = []StrategyCost{
+		{ColdStarts: 1, WastedMem: 102, Feasible: true},
+		{ColdStarts: 50, WastedMem: 100, Feasible: true},
+	}
+	// dcs = 49; dwm = 0.02; 49*0.5 > 0.02 -> memory winner (index 1).
+	if got := ChooseStrategy(costs, 0.5); got != 1 {
+		t.Errorf("huge cold-start rise -> %d, want 1", got)
+	}
+}
+
+func TestChooseStrategyInfeasible(t *testing.T) {
+	costs := []StrategyCost{
+		{Feasible: false},
+		{ColdStarts: 3, WastedMem: 10, Feasible: true},
+		{Feasible: false},
+	}
+	if got := ChooseStrategy(costs, 0.5); got != 1 {
+		t.Errorf("only feasible -> %d, want 1", got)
+	}
+	if got := ChooseStrategy([]StrategyCost{{Feasible: false}}, 0.5); got != -1 {
+		t.Errorf("none feasible -> %d, want -1", got)
+	}
+}
+
+func TestChooseStrategyZeroDenominators(t *testing.T) {
+	// Cold-start winner has zero cold starts: the clamped rise rate keeps
+	// the rule finite.
+	costs := []StrategyCost{
+		{ColdStarts: 0, WastedMem: 50, Feasible: true},
+		{ColdStarts: 10, WastedMem: 10, Feasible: true},
+	}
+	got := ChooseStrategy(costs, 0.5)
+	// dcs = (10-0)/1 = 10, dwm = (50-10)/10 = 4: 10*0.5 > 4 -> memory
+	// winner under the paper's rule.
+	if got != 1 {
+		t.Errorf("zero-cs trade-off -> %d, want 1 per the rise-rate rule", got)
+	}
+	// A zero-cs winner with modest memory overhead keeps the cs winner.
+	costs = []StrategyCost{
+		{ColdStarts: 0, WastedMem: 12, Feasible: true},
+		{ColdStarts: 4, WastedMem: 10, Feasible: true},
+	}
+	// dcs = 4, dwm = 0.2: 4*0.05 <= 0.2 with a cold-start-heavy alpha.
+	if got := ChooseStrategy(costs, 0.05); got != 0 {
+		t.Errorf("cheap zero-cs winner -> %d, want 0", got)
+	}
+	if riseRate(5, 0) != 5 {
+		t.Errorf("riseRate(5,0) = %v, want clamped 5", riseRate(5, 0))
+	}
+	if riseRate(0, 0) != 0 {
+		t.Error("riseRate(0,0) should be 0")
+	}
+	if riseRate(3, 6) != 0 {
+		t.Error("riseRate with worse<best should clamp to 0")
+	}
+}
+
+func TestAssignIndeterminatePulsed(t *testing.T) {
+	cfg := DefaultConfig()
+	// Temporal locality too weak for "successive": flurries of 2 slots.
+	slots := 4000
+	counts := make([]int, slots)
+	for _, start := range []int{100, 900, 1700, 2500, 3300, 3700, 3900} {
+		counts[start] = 1
+		counts[start+1] = 1
+	}
+	p := AssignIndeterminate(counts, 3000, nil, nil, cfg)
+	if p.Type != TypePulsed && p.Type != TypePossible {
+		t.Errorf("flurry function -> %v, want pulsed or possible", p.Type)
+	}
+}
+
+func TestAssignIndeterminateCorrelated(t *testing.T) {
+	cfg := DefaultConfig()
+	slots := 4000
+	counts := make([]int, slots)
+	// Invocations at erratic slots, all preceded by a candidate fire 2
+	// slots earlier.
+	invoked := []int{200, 950, 1333, 2600, 3100, 3555, 3900}
+	var candVal []int32
+	valStart := 3000
+	for _, s := range invoked {
+		counts[s] = 1
+		if s >= valStart {
+			candVal = append(candVal, int32(s-valStart-2))
+		}
+	}
+	links := []Link{{Cand: 7, Lag: 2}}
+	p := AssignIndeterminate(counts, valStart, links, [][]int32{candVal}, cfg)
+	if p.Type != TypeCorrelated {
+		t.Errorf("perfectly indicated function -> %v, want correlated", p.Type)
+	}
+	if len(p.Links) != 1 || p.Links[0].Cand != 7 {
+		t.Errorf("links = %v", p.Links)
+	}
+}
+
+func TestAssignIndeterminateQuietValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	slots := 4000
+	counts := make([]int, slots)
+	// All activity before validation, with duplicated WTs.
+	counts[100] = 1
+	counts[401] = 1
+	counts[702] = 1 // WTs: 300, 300
+	p := AssignIndeterminate(counts, 3000, nil, nil, cfg)
+	if p.Type != TypePossible {
+		t.Errorf("duplicated-WT quiet function -> %v, want possible", p.Type)
+	}
+	if len(p.Values) != 1 || p.Values[0] != 300 {
+		t.Errorf("possible values = %v, want [300]", p.Values)
+	}
+
+	// No repeated WTs, but links exist -> correlated.
+	counts2 := make([]int, slots)
+	counts2[100] = 1
+	counts2[500] = 1
+	p = AssignIndeterminate(counts2, 3000, []Link{{Cand: 3, Lag: 1}}, nil, cfg)
+	if p.Type != TypeCorrelated {
+		t.Errorf("linked quiet function -> %v, want correlated", p.Type)
+	}
+
+	// Nothing at all -> unknown.
+	p = AssignIndeterminate(make([]int, slots), 3000, nil, nil, cfg)
+	if p.Type != TypeUnknown {
+		t.Errorf("silent -> %v, want unknown", p.Type)
+	}
+
+	// One lonely invocation, no structure -> pulsed fallback.
+	counts3 := make([]int, slots)
+	counts3[50] = 1
+	p = AssignIndeterminate(counts3, 3000, nil, nil, cfg)
+	if p.Type != TypePulsed {
+		t.Errorf("lonely invocation -> %v, want pulsed", p.Type)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/classify"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Adaptive strategy 1 (Section IV-C1): adjust predictive values as online
+// waiting times drift away from the offline profile, and promote unknown or
+// unseen functions whose online WTs develop a usable pattern.
+
+// recordOnlineWT appends a finished waiting time to the function's online
+// history (S1) and, when enough new samples have accumulated, runs the
+// adjustment (S2) or promotion (S3) step.
+func (s *SPES) recordOnlineWT(fid trace.FuncID, st *funcState, wt int) {
+	if s.cfg.DisableAdjusting {
+		return
+	}
+	st.onlineWTs = append(st.onlineWTs, wt)
+	if len(st.onlineWTs) > maxOnlineWTs {
+		drop := len(st.onlineWTs) - maxOnlineWTs
+		st.onlineWTs = st.onlineWTs[drop:]
+		st.adjustedAt -= drop
+		if st.adjustedAt < 0 {
+			st.adjustedAt = 0
+		}
+	}
+	if len(st.onlineWTs)-st.adjustedAt < s.cfg.AdjustMinWTs {
+		return
+	}
+	st.adjustedAt = len(st.onlineWTs)
+
+	switch st.profile.Type {
+	case classify.TypeRegular, classify.TypeApproRegular, classify.TypeDense,
+		classify.TypePossible, classify.TypeNewlyPossible:
+		s.adjustPredictiveValues(st)
+	case classify.TypeUnknown:
+		s.promoteUnknown(st)
+	}
+}
+
+// adjustPredictiveValues implements S2: if the online WT statistics moved
+// significantly (|new median - old median| > old std), blend the predictive
+// values toward the online behaviour with the mean of old and new.
+func (s *SPES) adjustPredictiveValues(st *funcState) {
+	online := stats.IntsToFloats(st.onlineWTs)
+	newMedian := stats.Median(online)
+	shift := newMedian - st.profile.MedianWT
+	if shift < 0 {
+		shift = -shift
+	}
+	// "Larger than the standard [deviation] of offline WTs"; a zero std
+	// (perfectly regular offline) uses a one-slot tolerance so genuinely
+	// shifted functions still adapt.
+	tol := st.profile.StdWT
+	if tol < 1 {
+		tol = 1
+	}
+	if shift <= tol {
+		return
+	}
+
+	blend := func(old int) int {
+		return int((float64(old) + newMedian) / 2)
+	}
+	switch st.profile.Type {
+	case classify.TypeRegular:
+		if len(st.profile.Values) == 1 {
+			st.profile.Values[0] = blend(st.profile.Values[0])
+		}
+	case classify.TypeApproRegular:
+		// Replace with the blend of each old mode toward the new behaviour's
+		// modes, rank by rank; missing online modes keep the old value.
+		newModes := stats.Modes(st.onlineWTs, len(st.profile.Values))
+		for i := range st.profile.Values {
+			if i < len(newModes) {
+				st.profile.Values[i] = (st.profile.Values[i] + newModes[i]) / 2
+			}
+		}
+	case classify.TypeDense:
+		lo, hi, ok := stats.ModeRange(st.onlineWTs, s.cfg.Classify.DenseModes)
+		if ok {
+			st.profile.RangeLo = (st.profile.RangeLo + lo) / 2
+			st.profile.RangeHi = (st.profile.RangeHi + hi) / 2
+			if st.profile.RangeHi < st.profile.RangeLo {
+				st.profile.RangeHi = st.profile.RangeLo
+			}
+		}
+	case classify.TypePossible, classify.TypeNewlyPossible:
+		if repeated := stats.RepeatedValues(st.onlineWTs); len(repeated) > 0 {
+			st.profile.Values = repeated
+		}
+	}
+	st.profile.MedianWT = (st.profile.MedianWT + newMedian) / 2
+	st.profile.StdWT = stats.StdDev(online)
+}
+
+// promoteUnknown implements S3 for unknown functions: when the online WTs
+// expose at least one duplicated value, the function becomes
+// "newly-possible" with those values as predictions (the promotion the
+// paper reports for its two-day simulation; longer horizons could promote
+// into any deterministic type).
+func (s *SPES) promoteUnknown(st *funcState) {
+	repeated := stats.RepeatedValues(st.onlineWTs)
+	if len(repeated) == 0 {
+		return
+	}
+	online := stats.IntsToFloats(st.onlineWTs)
+	st.profile = classify.Profile{
+		Type:     classify.TypeNewlyPossible,
+		Values:   repeated,
+		MedianWT: stats.Median(online),
+		StdWT:    stats.StdDev(online),
+		WTCount:  len(st.onlineWTs),
+	}
+}

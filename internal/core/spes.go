@@ -1,0 +1,233 @@
+package core
+
+import (
+	"repro/internal/classify"
+	"repro/internal/predict"
+	"repro/internal/trace"
+)
+
+// maxOnlineWTs bounds the per-function online WT history kept for the
+// adjusting strategy; older samples age out FIFO.
+const maxOnlineWTs = 64
+
+// funcState is the FState record of Algorithm 1 for one function.
+type funcState struct {
+	profile classify.Profile
+
+	lastInvoked int  // slot of the most recent invocation (sim timeline; may be negative from training)
+	currentWT   int  // idle slots since the last invocation
+	loaded      bool // in MemSet
+	everTrained bool // invoked at least once in the training window
+
+	// preloadUntil holds the last slot (inclusive) through which an
+	// indicator-driven pre-load (correlated links or online correlation)
+	// keeps the function warm; -1 when inactive.
+	preloadUntil int
+
+	// onlineWTs are waiting times observed during simulation (S1 of the
+	// adjusting strategy); adjustedAt counts how many had been consumed by
+	// the last adjustment so each batch triggers at most one update.
+	onlineWTs  []int
+	adjustedAt int
+}
+
+// listener is the reverse edge of a correlated link: when the candidate
+// fires, pre-load the target through lag+thetaPrewarm slots.
+type listener struct {
+	target trace.FuncID
+	lag    int32
+}
+
+// SPES is the differentiated provision policy. It implements sim.Policy and
+// sim.TypeTagger.
+type SPES struct {
+	cfg  Config
+	pred *predict.Predictor
+
+	meta   []trace.Function
+	states []funcState
+
+	// listeners maps a candidate function to the correlated targets it
+	// pre-loads (offline links, reversed).
+	listeners map[trace.FuncID][]listener
+
+	ucorr *onlineCorr
+
+	loadedCount int
+	trainSlots  int
+}
+
+// New creates an untrained SPES policy; call Train (or let sim.Run call it)
+// before ticking.
+func New(cfg Config) *SPES {
+	pred := predict.NewPredictor()
+	pred.PossibleRangeMax = cfg.PossibleRangeMax
+	return &SPES{cfg: cfg, pred: pred}
+}
+
+// Name implements sim.Policy.
+func (s *SPES) Name() string { return "SPES" }
+
+// Train runs the offline phase: categorize every function from its training
+// history, build the correlated-link reverse index, seed per-function state
+// (last invocation, current WT) so predictions straddle the train/sim
+// boundary, and register never-trained functions for online correlation.
+func (s *SPES) Train(training *trace.Trace) {
+	n := training.NumFunctions()
+	s.meta = training.Functions
+	s.trainSlots = training.Slots
+	s.states = make([]funcState, n)
+	s.listeners = make(map[trace.FuncID][]listener)
+
+	outcome := classify.Categorize(training, s.cfg.Classify,
+		s.cfg.DisableCorrelation, s.cfg.DisableForgetting)
+
+	for fid := 0; fid < n; fid++ {
+		st := &s.states[fid]
+		st.profile = outcome.Profiles[fid]
+		st.preloadUntil = -1
+		last := training.Series[fid].LastSlot()
+		if last >= 0 {
+			st.everTrained = true
+			// Rebase onto the simulation timeline, where slot 0 is the
+			// first simulated minute: a last training invocation at
+			// trainSlots-1 becomes -1.
+			st.lastInvoked = int(last) - training.Slots
+			st.currentWT = -st.lastInvoked - 1
+		} else {
+			st.lastInvoked = -training.Slots
+			st.currentWT = training.Slots
+		}
+		for _, l := range st.profile.Links {
+			cand := trace.FuncID(l.Cand)
+			s.listeners[cand] = append(s.listeners[cand], listener{
+				target: trace.FuncID(fid), lag: l.Lag,
+			})
+		}
+
+		// Carry end-of-training residency into the simulation: SPES would
+		// have kept the function loaded if its idle time is still under the
+		// eviction patience or a predicted invocation is imminent.
+		if st.everTrained &&
+			(st.profile.Type == classify.TypeAlwaysWarm ||
+				st.currentWT < s.thetaGivenup(st.profile.Type) ||
+				s.shouldPreload(trace.FuncID(fid), st, 0)) {
+			s.load(st)
+		}
+	}
+
+	if !s.cfg.DisableOnlineCorr {
+		s.ucorr = newOnlineCorr(s.meta, s.cfg)
+		for fid := 0; fid < n; fid++ {
+			if !s.states[fid].everTrained {
+				s.ucorr.register(trace.FuncID(fid))
+			}
+		}
+	}
+}
+
+// Loaded implements sim.Policy.
+func (s *SPES) Loaded(f trace.FuncID) bool { return s.states[f].loaded }
+
+// LoadedCount implements sim.Policy.
+func (s *SPES) LoadedCount() int { return s.loadedCount }
+
+// TypeOf implements sim.TypeTagger.
+func (s *SPES) TypeOf(f trace.FuncID) string { return s.states[f].profile.Type.String() }
+
+// Profile exposes a function's current categorization (tests and the
+// experiment reports read it).
+func (s *SPES) Profile(f trace.FuncID) classify.Profile { return s.states[f].profile }
+
+// load and unload keep loadedCount in sync.
+func (s *SPES) load(st *funcState) {
+	if !st.loaded {
+		st.loaded = true
+		s.loadedCount++
+	}
+}
+
+func (s *SPES) unload(st *funcState) {
+	if st.loaded {
+		st.loaded = false
+		s.loadedCount--
+	}
+}
+
+// Tick implements Algorithm 1 for one slot.
+func (s *SPES) Tick(t int, invs []trace.FuncCount) {
+	// Mark this slot's arrivals for O(1) membership while scanning all
+	// functions. invs is FuncID-ascending, so walk it in lockstep instead
+	// of building a set.
+	next := 0
+	for fid := range s.states {
+		st := &s.states[fid]
+		invokedNow := false
+		if next < len(invs) && int(invs[next].Func) == fid {
+			invokedNow = true
+			next++
+		}
+
+		if invokedNow {
+			// Lines 3-12: record the finished WT, reset, adapt, load.
+			if st.currentWT > 0 && st.lastInvoked > -s.trainSlots {
+				s.recordOnlineWT(trace.FuncID(fid), st, st.currentWT)
+			}
+			st.lastInvoked = t
+			st.currentWT = 0
+			st.preloadUntil = -1
+			s.load(st)
+			continue
+		}
+
+		// Lines 13-20: idle bookkeeping, pre-load or evict.
+		st.currentWT++
+		preload := s.shouldPreload(trace.FuncID(fid), st, t)
+		if preload {
+			s.load(st)
+		} else if st.loaded && st.currentWT >= s.thetaGivenup(st.profile.Type) {
+			s.unload(st)
+		}
+	}
+
+	// Indicator-driven pre-loading: offline correlated links and online
+	// correlation for unseen functions (line 22, UCorr.update()).
+	for _, fc := range invs {
+		for _, l := range s.listeners[fc.Func] {
+			target := &s.states[l.target]
+			until := t + int(l.lag) + s.cfg.Classify.ThetaPrewarm
+			if until > target.preloadUntil {
+				target.preloadUntil = until
+			}
+			s.load(target)
+		}
+	}
+	if s.ucorr != nil {
+		s.ucorr.observe(t, invs, s)
+	}
+}
+
+// shouldPreload evaluates line 15's pre_load flag for an idle function.
+func (s *SPES) shouldPreload(fid trace.FuncID, st *funcState, t int) bool {
+	switch st.profile.Type {
+	case classify.TypeAlwaysWarm:
+		// Undoubtedly always loaded.
+		return true
+	case classify.TypeCorrelated:
+		return t <= st.preloadUntil
+	case classify.TypeSuccessive, classify.TypePulsed:
+		// Tolerate the first cold start of a wave; never predict-preload.
+		return t <= st.preloadUntil // preloadUntil is -1 unless online corr touched it
+	case classify.TypeUnknown:
+		return t <= st.preloadUntil // online correlation may pre-load unseen functions
+	default:
+		if t <= st.preloadUntil {
+			return true
+		}
+		return s.pred.ShouldPrewarm(&st.profile, st.lastInvoked, t, s.cfg.Classify.ThetaPrewarm)
+	}
+}
+
+func (s *SPES) thetaGivenup(typ classify.Type) int {
+	return s.cfg.Classify.ThetaGivenup(typ)
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestAppWiseCSRs(t *testing.T) {
+	tr := trace.NewTrace(10)
+	tr.AddFunction("f0", "appA", "u", trace.TriggerHTTP, nil)
+	tr.AddFunction("f1", "appA", "u", trace.TriggerHTTP, nil)
+	tr.AddFunction("f2", "appB", "u", trace.TriggerHTTP, nil)
+	tr.AddFunction("f3", "appC", "u", trace.TriggerHTTP, nil) // never invoked
+
+	res := &sim.Result{
+		PerFunc: []sim.FuncMetrics{
+			{InvokedSlot: 4, ColdStarts: 2},
+			{InvokedSlot: 4, ColdStarts: 0},
+			{InvokedSlot: 2, ColdStarts: 2},
+			{},
+		},
+	}
+	csrs := AppWiseCSRs(res, tr)
+	if len(csrs) != 2 {
+		t.Fatalf("apps = %d, want 2 (appC never invoked)", len(csrs))
+	}
+	// appA: 2 cold of 8 invocations = 0.25; appB: 2/2 = 1.0.
+	seen := map[float64]bool{}
+	for _, c := range csrs {
+		seen[c] = true
+	}
+	if !seen[0.25] || !seen[1.0] {
+		t.Errorf("app CSRs = %v, want {0.25, 1.0}", csrs)
+	}
+}
+
+func TestAppWiseCSRsEmpty(t *testing.T) {
+	tr := trace.NewTrace(1)
+	res := &sim.Result{}
+	if got := AppWiseCSRs(res, tr); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}

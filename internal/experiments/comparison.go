@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Comparison bundles the simulation results of SPES and every baseline over
+// one workload — the single expensive computation Figures 8 through 12
+// read different projections of.
+type Comparison struct {
+	Settings Settings
+	SPES     *sim.Result
+	Results  []*sim.Result // SPES first, then the baselines in paper order
+	SimTrace *trace.Trace  // the simulated window (metadata for app-wise views)
+}
+
+// AppWiseCSRs aggregates a result's cold starts to application granularity:
+// one CSR per application with at least one invocation. The paper evaluates
+// Hybrid-Application this way ("application-wise for HA", Section V-A2).
+func AppWiseCSRs(res *sim.Result, tr *trace.Trace) []float64 {
+	type agg struct{ cold, invoked int64 }
+	byApp := make(map[string]*agg)
+	for fid, m := range res.PerFunc {
+		if m.InvokedSlot == 0 {
+			continue
+		}
+		app := tr.Functions[fid].App
+		a := byApp[app]
+		if a == nil {
+			a = &agg{}
+			byApp[app] = a
+		}
+		a.cold += m.ColdStarts
+		a.invoked += m.InvokedSlot
+	}
+	out := make([]float64, 0, len(byApp))
+	for _, a := range byApp {
+		out = append(out, float64(a.cold)/float64(a.invoked))
+	}
+	return out
+}
+
+// RunComparison simulates SPES and all baselines. FaaSCache's capacity is
+// set to SPES's maximum observed memory, as Section V-A1 prescribes, which
+// is why SPES runs first. Overhead timing is enabled so RQ2's overhead
+// discussion can be reproduced from the same run.
+func RunComparison(s Settings, train, simTr *trace.Trace) (*Comparison, error) {
+	opts := sim.Options{MeasureOverhead: true}
+
+	spes := core.New(s.SPES)
+	spesRes, err := sim.Run(spes, train, simTr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: SPES run: %w", err)
+	}
+	capacity := spesRes.MaxLoaded
+	if capacity < 1 {
+		capacity = 1
+	}
+
+	policies := []sim.Policy{
+		baselines.NewDefuse(baselines.DefaultDefuseConfig()),
+		baselines.NewHybridFunction(baselines.DefaultHybridConfig()),
+		baselines.NewHybridApplication(baselines.DefaultHybridConfig()),
+		baselines.NewFixedKeepAlive(10),
+		baselines.NewFaaSCache(capacity),
+	}
+	results := []*sim.Result{spesRes}
+	for _, p := range policies {
+		r, err := sim.Run(p, train, simTr, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s run: %w", p.Name(), err)
+		}
+		results = append(results, r)
+	}
+	return &Comparison{Settings: s, SPES: spesRes, Results: results, SimTrace: simTr}, nil
+}
+
+// cached comparison, keyed by settings, so the per-figure runners invoked
+// from one binary share the expensive simulation.
+var comparisonCache = map[Settings]*Comparison{}
+
+// SharedComparison returns a cached comparison for the settings, running it
+// on first use.
+func SharedComparison(s Settings, w io.Writer) (*Comparison, error) {
+	if c, ok := comparisonCache[s]; ok {
+		return c, nil
+	}
+	fmt.Fprintf(w, "building workload: %d functions, %d days (%d train)...\n",
+		s.Functions, s.Days, s.TrainDays)
+	_, train, simTr, err := BuildWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "simulating SPES and 5 baselines...")
+	c, err := RunComparison(s, train, simTr)
+	if err != nil {
+		return nil, err
+	}
+	comparisonCache[s] = c
+	return c, nil
+}

@@ -1,0 +1,71 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section over the synthetic Azure-like workload. Each runner
+// writes a textual rendition of its figure to an io.Writer; the
+// cmd/spes-experiments binary and the repository's benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Settings fixes a reproduction run: the workload scale and split plus the
+// SPES configuration. The paper's setup is 14 days of trace with the first
+// 12 for training (Section V-A).
+type Settings struct {
+	Functions int
+	Days      int
+	TrainDays int
+	Seed      int64
+	SPES      core.Config
+}
+
+// DefaultSettings returns a laptop-scale default: the full 14-day horizon
+// with a population large enough for stable distributions.
+func DefaultSettings() Settings {
+	return Settings{
+		Functions: 2000,
+		Days:      14,
+		TrainDays: 12,
+		Seed:      1,
+		SPES:      core.DefaultConfig(),
+	}
+}
+
+// QuickSettings returns a small configuration for tests and benchmarks.
+func QuickSettings() Settings {
+	return Settings{
+		Functions: 300,
+		Days:      6,
+		TrainDays: 4,
+		Seed:      1,
+		SPES:      core.DefaultConfig(),
+	}
+}
+
+// Validate rejects impossible splits.
+func (s Settings) Validate() error {
+	if s.Functions <= 0 {
+		return fmt.Errorf("experiments: need a positive function count, got %d", s.Functions)
+	}
+	if s.TrainDays <= 0 || s.TrainDays >= s.Days {
+		return fmt.Errorf("experiments: train days %d must fall inside (0, %d)", s.TrainDays, s.Days)
+	}
+	return nil
+}
+
+// BuildWorkload generates the full trace and splits it into training and
+// simulation windows.
+func BuildWorkload(s Settings) (full, train, simTr *trace.Trace, err error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	full, err = trace.Generate(trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	train, simTr = full.Split(s.TrainDays * 1440)
+	return full, train, simTr, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig13a sweeps theta_prewarm over the paper's values {1, 2, 3, 5, 10} and
+// reports (normalized memory, Q3-CSR) per point — the trade-off line of
+// Figure 13(a).
+func Fig13a(w io.Writer, s Settings) error {
+	_, train, simTr, err := BuildWorkload(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 13(a) — trade-off under different theta_prewarm")
+	tab := report.NewTable("theta_prewarm", "Norm. memory", "Q3-CSR")
+
+	var baseMem float64
+	for _, theta := range []int{1, 2, 3, 5, 10} {
+		cfg := s.SPES
+		cfg.Classify.ThetaPrewarm = theta
+		res, err := sim.Run(core.New(cfg), train, simTr, sim.Options{})
+		if err != nil {
+			return err
+		}
+		mem := res.MeanLoaded()
+		if theta == 2 {
+			baseMem = mem
+		}
+		tab.AddRow(fmt.Sprint(theta), fmt.Sprintf("%.4f", mem), fmt.Sprintf("%.4f", res.QuantileCSR(0.75)))
+	}
+	tab.Render(w)
+	if baseMem > 0 {
+		fmt.Fprintln(w, "(memory in mean loaded instances; the paper normalizes to theta=2)")
+	}
+	fmt.Fprintln(w, "(expected shape: memory up, Q3-CSR down, roughly linearly)")
+	return nil
+}
+
+// Fig13b sweeps the theta_givenup scaler over {1..5} as Figure 13(b) does:
+// the original per-type values are multiplied by the scaler.
+func Fig13b(w io.Writer, s Settings) error {
+	_, train, simTr, err := BuildWorkload(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 13(b) — trade-off under scaled theta_givenup")
+	tab := report.NewTable("Scaler", "Norm. memory", "Q3-CSR")
+	for scaler := 1; scaler <= 5; scaler++ {
+		cfg := s.SPES
+		cfg.Classify.ThetaGivenupDense = 5 * scaler
+		cfg.Classify.ThetaGivenupOther = 1 * scaler
+		res, err := sim.Run(core.New(cfg), train, simTr, sim.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(fmt.Sprint(scaler), fmt.Sprintf("%.4f", res.MeanLoaded()),
+			fmt.Sprintf("%.4f", res.QuantileCSR(0.75)))
+	}
+	tab.Render(w)
+	fmt.Fprintln(w, "(expected shape: larger scalers buy little cold-start reduction —")
+	fmt.Fprintln(w, " idle functions should be evicted promptly)")
+	return nil
+}

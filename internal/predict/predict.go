@@ -1,0 +1,133 @@
+// Package predict implements SPES's next-invocation prediction (Section
+// IV-D): given a function's categorization profile and the time of its last
+// invocation, decide whether a predicted invocation falls close enough to
+// "now" that the function should be pre-loaded.
+package predict
+
+import "repro/internal/classify"
+
+// Predictor evaluates pre-warm decisions against categorization profiles.
+// PossibleRangeMax is the threshold from Section IV-D deciding whether a
+// "possible" function's predictive values act as discrete points (wide
+// range) or as a continuous interval (narrow range).
+type Predictor struct {
+	PossibleRangeMax int
+}
+
+// NewPredictor returns a predictor with the default narrow-range threshold.
+func NewPredictor() *Predictor {
+	return &Predictor{PossibleRangeMax: 10}
+}
+
+// NextWindows returns the predicted invocation windows for a function whose
+// last invocation happened at lastInvoked, as [lo, hi] slot pairs. Types
+// without time predictions return nil.
+func (p *Predictor) NextWindows(profile *classify.Profile, lastInvoked int) [][2]int {
+	switch profile.Type {
+	case classify.TypeRegular, classify.TypeApproRegular:
+		return discreteWindows(profile.Values, lastInvoked)
+	case classify.TypeDense:
+		if profile.RangeHi < profile.RangeLo {
+			return nil
+		}
+		return [][2]int{{lastInvoked + profile.RangeLo, lastInvoked + profile.RangeHi}}
+	case classify.TypePossible, classify.TypeNewlyPossible:
+		if len(profile.Values) == 0 {
+			return nil
+		}
+		lo, hi := profile.Values[0], profile.Values[0]
+		for _, v := range profile.Values[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > p.PossibleRangeMax {
+			return discreteWindows(profile.Values, lastInvoked)
+		}
+		return [][2]int{{lastInvoked + lo, lastInvoked + hi}}
+	default:
+		return nil
+	}
+}
+
+func discreteWindows(values []int, lastInvoked int) [][2]int {
+	if len(values) == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(values))
+	for _, v := range values {
+		pt := lastInvoked + v
+		out = append(out, [2]int{pt, pt})
+	}
+	return out
+}
+
+// ShouldPrewarm reports whether, at time t, some predicted invocation of the
+// function falls within thetaPrewarm slots ("one of the predicted invocation
+// times falls in [t - theta, t + theta]"). It runs in the provision loop's
+// hot path, so it evaluates windows directly without allocating; the
+// predict package's tests assert it agrees with NextWindows.
+func (p *Predictor) ShouldPrewarm(profile *classify.Profile, lastInvoked, t, thetaPrewarm int) bool {
+	hit := func(lo, hi int) bool {
+		return t+thetaPrewarm >= lo && t-thetaPrewarm <= hi
+	}
+	switch profile.Type {
+	case classify.TypeRegular, classify.TypeApproRegular:
+		for _, v := range profile.Values {
+			if hit(lastInvoked+v, lastInvoked+v) {
+				return true
+			}
+		}
+	case classify.TypeDense:
+		if profile.RangeHi >= profile.RangeLo {
+			return hit(lastInvoked+profile.RangeLo, lastInvoked+profile.RangeHi)
+		}
+	case classify.TypePossible, classify.TypeNewlyPossible:
+		if len(profile.Values) == 0 {
+			return false
+		}
+		lo, hi := profile.Values[0], profile.Values[0]
+		for _, v := range profile.Values[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > p.PossibleRangeMax {
+			for _, v := range profile.Values {
+				if hit(lastInvoked+v, lastInvoked+v) {
+					return true
+				}
+			}
+			return false
+		}
+		return hit(lastInvoked+lo, lastInvoked+hi)
+	}
+	return false
+}
+
+// NextPredicted returns the earliest predicted invocation slot strictly
+// after t, or -1 when the profile predicts nothing. The event-queue variant
+// of the provision loop uses this to schedule wake-ups.
+func (p *Predictor) NextPredicted(profile *classify.Profile, lastInvoked, t int) int {
+	best := -1
+	for _, w := range p.NextWindows(profile, lastInvoked) {
+		cand := w[0]
+		if cand <= t {
+			if w[1] > t {
+				cand = t + 1
+			} else {
+				continue
+			}
+		}
+		if best < 0 || cand < best {
+			best = cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package predict
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+)
+
+func TestNextWindowsRegular(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeRegular, Values: []int{60}}
+	got := p.NextWindows(prof, 100)
+	want := [][2]int{{160, 160}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("windows = %v, want %v", got, want)
+	}
+}
+
+func TestNextWindowsApproRegular(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeApproRegular, Values: []int{10, 12, 14}}
+	got := p.NextWindows(prof, 0)
+	want := [][2]int{{10, 10}, {12, 12}, {14, 14}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("windows = %v, want %v", got, want)
+	}
+}
+
+func TestNextWindowsDense(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeDense, RangeLo: 1, RangeHi: 4}
+	got := p.NextWindows(prof, 50)
+	want := [][2]int{{51, 54}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("windows = %v, want %v", got, want)
+	}
+	// Inverted range -> nothing.
+	bad := &classify.Profile{Type: classify.TypeDense, RangeLo: 4, RangeHi: 1}
+	if got := p.NextWindows(bad, 0); got != nil {
+		t.Errorf("inverted range -> %v", got)
+	}
+}
+
+func TestNextWindowsPossible(t *testing.T) {
+	p := NewPredictor()
+	// Narrow range -> continuous interval.
+	narrow := &classify.Profile{Type: classify.TypePossible, Values: []int{5, 8}}
+	got := p.NextWindows(narrow, 0)
+	want := [][2]int{{5, 8}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("narrow possible = %v, want %v", got, want)
+	}
+	// Wide range -> discrete points.
+	wide := &classify.Profile{Type: classify.TypePossible, Values: []int{5, 500}}
+	got = p.NextWindows(wide, 10)
+	want = [][2]int{{15, 15}, {510, 510}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wide possible = %v, want %v", got, want)
+	}
+	// Newly-possible behaves like possible.
+	newly := &classify.Profile{Type: classify.TypeNewlyPossible, Values: []int{5, 8}}
+	if got := p.NextWindows(newly, 0); !reflect.DeepEqual(got, [][2]int{{5, 8}}) {
+		t.Errorf("newly-possible = %v", got)
+	}
+	// No values -> nothing.
+	empty := &classify.Profile{Type: classify.TypePossible}
+	if got := p.NextWindows(empty, 0); got != nil {
+		t.Errorf("empty possible = %v", got)
+	}
+}
+
+func TestNextWindowsNonPredictive(t *testing.T) {
+	p := NewPredictor()
+	for _, typ := range []classify.Type{
+		classify.TypeAlwaysWarm, classify.TypeSuccessive, classify.TypePulsed,
+		classify.TypeCorrelated, classify.TypeUnknown,
+	} {
+		prof := &classify.Profile{Type: typ, Values: []int{5}}
+		if got := p.NextWindows(prof, 0); got != nil {
+			t.Errorf("%v -> %v, want nil", typ, got)
+		}
+	}
+}
+
+func TestShouldPrewarm(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeRegular, Values: []int{60}}
+	// Predicted at 160; theta 2 -> prewarm in [158, 162].
+	cases := []struct {
+		t    int
+		want bool
+	}{
+		{157, false}, {158, true}, {160, true}, {162, true}, {163, false},
+	}
+	for _, c := range cases {
+		if got := p.ShouldPrewarm(prof, 100, c.t, 2); got != c.want {
+			t.Errorf("ShouldPrewarm(t=%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Zero theta: exact hit only.
+	if p.ShouldPrewarm(prof, 100, 159, 0) {
+		t.Error("theta=0 should not prewarm at 159")
+	}
+	if !p.ShouldPrewarm(prof, 100, 160, 0) {
+		t.Error("theta=0 should prewarm at 160")
+	}
+}
+
+func TestShouldPrewarmDenseWindow(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeDense, RangeLo: 2, RangeHi: 5}
+	// Window [102, 105], theta 1 -> [101, 106].
+	if !p.ShouldPrewarm(prof, 100, 101, 1) {
+		t.Error("dense window edge should prewarm")
+	}
+	if p.ShouldPrewarm(prof, 100, 107, 1) {
+		t.Error("beyond dense window should not prewarm")
+	}
+}
+
+func TestNextPredicted(t *testing.T) {
+	p := NewPredictor()
+	prof := &classify.Profile{Type: classify.TypeApproRegular, Values: []int{10, 20}}
+	if got := p.NextPredicted(prof, 0, 5); got != 10 {
+		t.Errorf("NextPredicted = %d, want 10", got)
+	}
+	if got := p.NextPredicted(prof, 0, 15); got != 20 {
+		t.Errorf("NextPredicted = %d, want 20", got)
+	}
+	if got := p.NextPredicted(prof, 0, 25); got != -1 {
+		t.Errorf("NextPredicted past all = %d, want -1", got)
+	}
+	// Inside a continuous window: next slot.
+	dense := &classify.Profile{Type: classify.TypeDense, RangeLo: 1, RangeHi: 10}
+	if got := p.NextPredicted(dense, 0, 4); got != 5 {
+		t.Errorf("NextPredicted inside window = %d, want 5", got)
+	}
+	unknown := &classify.Profile{Type: classify.TypeUnknown}
+	if got := p.NextPredicted(unknown, 0, 0); got != -1 {
+		t.Errorf("NextPredicted unknown = %d", got)
+	}
+}
+
+// Property: the allocation-free ShouldPrewarm agrees with a window-based
+// evaluation via NextWindows for every profile shape.
+func TestShouldPrewarmAgreesWithWindows(t *testing.T) {
+	p := NewPredictor()
+	profiles := []*classify.Profile{
+		{Type: classify.TypeRegular, Values: []int{60}},
+		{Type: classify.TypeApproRegular, Values: []int{10, 12, 14}},
+		{Type: classify.TypeDense, RangeLo: 1, RangeHi: 5},
+		{Type: classify.TypeDense, RangeLo: 5, RangeHi: 1},
+		{Type: classify.TypePossible, Values: []int{5, 8}},
+		{Type: classify.TypePossible, Values: []int{5, 500}},
+		{Type: classify.TypePossible},
+		{Type: classify.TypeNewlyPossible, Values: []int{3, 3, 9}},
+		{Type: classify.TypeUnknown, Values: []int{4}},
+		{Type: classify.TypeSuccessive},
+	}
+	for _, prof := range profiles {
+		for last := 0; last < 3; last++ {
+			for tt := 0; tt < 600; tt++ {
+				for _, theta := range []int{0, 1, 2, 5} {
+					viaWindows := false
+					for _, w := range p.NextWindows(prof, last) {
+						if tt+theta >= w[0] && tt-theta <= w[1] {
+							viaWindows = true
+							break
+						}
+					}
+					if got := p.ShouldPrewarm(prof, last, tt, theta); got != viaWindows {
+						t.Fatalf("profile %v last=%d t=%d theta=%d: fast=%v windows=%v",
+							prof.Type, last, tt, theta, got, viaWindows)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package qos implements the priority-aware provisioning module the paper
+// sketches as future work (Section VI-A3): real platforms must keep
+// time-sensitive, mission-critical functions warm "even during periods of
+// high demand or resource constraints".
+//
+// Scheduler wraps any provisioning policy and enforces a memory budget with
+// class-aware eviction: when the wrapped policy wants more instances
+// resident than the budget allows, the scheduler masks out loaded functions
+// starting from the lowest QoS class (and, within a class, the least
+// recently invoked), so critical functions keep their warmth at the expense
+// of best-effort ones. A masked function behaves exactly like an unloaded
+// one (its next invocation is a cold start) until it is invoked again or
+// re-admitted by freed budget.
+package qos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Class is a QoS priority level. Lower values are more important.
+type Class uint8
+
+// Classes, from most to least protected.
+const (
+	Critical Class = iota
+	Standard
+	BestEffort
+)
+
+var classNames = [...]string{"critical", "standard", "best-effort"}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Scheduler wraps an inner policy with budgeted, class-aware residency.
+// It implements sim.Policy (and forwards sim.TypeTagger when the inner
+// policy provides it).
+type Scheduler struct {
+	inner  sim.Policy
+	budget int
+	// classOf assigns each function its QoS class; functions beyond the
+	// slice default to Standard.
+	classOf []Class
+
+	masked      []bool
+	lastInvoked []int
+	loaded      int // effective (unmasked) loaded count
+}
+
+// New wraps inner with a memory budget (in instances) and per-function
+// classes. It panics on a non-positive budget: the budget is experiment
+// configuration, not data.
+func New(inner sim.Policy, budget int, classOf []Class) *Scheduler {
+	if budget <= 0 {
+		panic(fmt.Sprintf("qos: budget must be positive, got %d", budget))
+	}
+	return &Scheduler{inner: inner, budget: budget, classOf: classOf}
+}
+
+// Name implements sim.Policy.
+func (s *Scheduler) Name() string { return s.inner.Name() + "+QoS" }
+
+// Train implements sim.Policy.
+func (s *Scheduler) Train(training *trace.Trace) {
+	s.inner.Train(training)
+	n := training.NumFunctions()
+	s.masked = make([]bool, n)
+	s.lastInvoked = make([]int, n)
+	for i := range s.lastInvoked {
+		s.lastInvoked[i] = -1
+	}
+	s.enforce()
+}
+
+// class returns f's QoS class, defaulting to Standard.
+func (s *Scheduler) class(f int) Class {
+	if f < len(s.classOf) {
+		return s.classOf[f]
+	}
+	return Standard
+}
+
+// Tick implements sim.Policy: serve arrivals (which unmask their
+// functions), let the inner policy re-provision, then enforce the budget.
+func (s *Scheduler) Tick(t int, invs []trace.FuncCount) {
+	for _, fc := range invs {
+		s.lastInvoked[fc.Func] = t
+		s.masked[fc.Func] = false
+	}
+	s.inner.Tick(t, invs)
+	s.enforce()
+}
+
+// enforce recomputes the effective loaded set and masks the lowest-priority
+// residents until the budget holds. Previously masked functions whose
+// budget pressure has passed are re-admitted (mask cleared) — the inner
+// policy still considers them loaded, so re-admission restores warmth
+// without a cold start.
+func (s *Scheduler) enforce() {
+	if s.masked == nil {
+		// Ad-hoc use without Train: size lazily from the inner policy's
+		// reports as functions appear.
+		return
+	}
+	type resident struct {
+		fid   int
+		class Class
+		last  int
+	}
+	var residents []resident
+	for f := range s.masked {
+		if s.inner.Loaded(trace.FuncID(f)) {
+			residents = append(residents, resident{fid: f, class: s.class(f), last: s.lastInvoked[f]})
+		} else {
+			s.masked[f] = false // nothing to mask once the inner evicted it
+		}
+	}
+	if len(residents) <= s.budget {
+		for _, r := range residents {
+			s.masked[r.fid] = false
+		}
+		s.loaded = len(residents)
+		return
+	}
+	// Keep the budget's worth of highest-priority, most recently invoked
+	// functions; mask the rest.
+	sort.Slice(residents, func(i, j int) bool {
+		if residents[i].class != residents[j].class {
+			return residents[i].class < residents[j].class
+		}
+		if residents[i].last != residents[j].last {
+			return residents[i].last > residents[j].last
+		}
+		return residents[i].fid < residents[j].fid
+	})
+	for i, r := range residents {
+		s.masked[r.fid] = i >= s.budget
+	}
+	s.loaded = s.budget
+}
+
+// Loaded implements sim.Policy.
+func (s *Scheduler) Loaded(f trace.FuncID) bool {
+	if s.masked == nil {
+		return s.inner.Loaded(f)
+	}
+	return s.inner.Loaded(f) && !s.masked[f]
+}
+
+// LoadedCount implements sim.Policy.
+func (s *Scheduler) LoadedCount() int {
+	if s.masked == nil {
+		return s.inner.LoadedCount()
+	}
+	return s.loaded
+}
+
+// TypeOf forwards the inner policy's category tags when available.
+func (s *Scheduler) TypeOf(f trace.FuncID) string {
+	if tagger, ok := s.inner.(sim.TypeTagger); ok {
+		return tagger.TypeOf(f)
+	}
+	return ""
+}

@@ -1,0 +1,125 @@
+package series
+
+import "repro/internal/stats"
+
+// The slack rules of Section IV-A2 relax a WT sequence before re-testing the
+// "regular" definition: real-world periodic functions suffer boundary
+// truncation (the first/last WT of an observation window is arbitrary) and
+// occasional extra invocations that split one true period into several small
+// gaps.
+
+// TrimEnds returns wts without its first and last elements (the paper's
+// first slacking rule). Sequences with fewer than three elements trim to
+// empty rather than panicking.
+func TrimEnds(wts []int) []int {
+	if len(wts) <= 2 {
+		return nil
+	}
+	out := make([]int, len(wts)-2)
+	copy(out, wts[1:len(wts)-1])
+	return out
+}
+
+// MergeSmallWTs applies the paper's second slacking rule: for each WT close
+// in value to the WT mode, adjacent small WTs are merged into it until
+// reaching (1) the sequence's end, (2) another near-mode WT, or (3) an
+// already-merged WT. Intuitively, a period occasionally interrupted by a
+// stray invocation produces (1439, 1438, 1, ...) and should read as
+// (1439, 1439, ...).
+//
+// closeTol bounds |wt - mode| for a WT to count as near-mode; smallFrac
+// bounds wt/mode for a WT to count as "small" and be mergeable. The paper
+// leaves both implicit; defaults used by the classifier are closeTol = 1 and
+// smallFrac = 0.1. The input is not mutated.
+func MergeSmallWTs(wts []int, closeTol int, smallFrac float64) []int {
+	if len(wts) == 0 {
+		return nil
+	}
+	mode := mergeReferenceMode(wts)
+	if mode <= 0 {
+		out := make([]int, len(wts))
+		copy(out, wts)
+		return out
+	}
+	isNearMode := func(wt int) bool {
+		d := wt - mode
+		if d < 0 {
+			d = -d
+		}
+		return d <= closeTol
+	}
+	isSmall := func(wt int) bool {
+		return float64(wt) <= smallFrac*float64(mode) && !isNearMode(wt)
+	}
+
+	merged := make([]bool, len(wts)) // slot already absorbed into a near-mode WT
+	out := make([]int, 0, len(wts))
+	for i, wt := range wts {
+		if merged[i] {
+			continue
+		}
+		if !isNearMode(wt) {
+			out = append(out, wt)
+			continue
+		}
+		// Absorb following small WTs into this near-mode WT. Each absorbed
+		// small gap also swallowed one active slot between the gaps, so the
+		// reconstructed period grows by (small WT + 1).
+		total := wt
+		j := i + 1
+		for j < len(wts) && isSmall(wts[j]) && !merged[j] {
+			total += wts[j] + 1
+			merged[j] = true
+			j++
+		}
+		out = append(out, total)
+	}
+	return out
+}
+
+// mergeReferenceMode picks the WT value the merge rule treats as "the mode":
+// among the most frequent values, the largest. Stray interruptions split one
+// true period into a large near-period WT and a small artifact, so ties
+// between large and small values must resolve toward the period (in the
+// paper's example (1439, 1438, 1, 1439, 1438, 1) every value occurs twice,
+// and the intended mode is the near-daily 1439, not the artifact 1).
+func mergeReferenceMode(wts []int) int {
+	table := stats.FrequencyTable(wts)
+	if len(table) == 0 {
+		return 0
+	}
+	best := table[0]
+	for _, mc := range table[1:] {
+		if mc.Count < best.Count {
+			break
+		}
+		if mc.Value > best.Value {
+			best = mc
+		}
+	}
+	return best.Value
+}
+
+// SlackVariants returns the candidate WT sequences the classifier tests in
+// order: the raw sequence, the end-trimmed sequence, and the merged sequence
+// (built from the trimmed one, mirroring the paper's cascade of slacking
+// rules). Empty variants are omitted.
+func SlackVariants(wts []int, closeTol int, smallFrac float64) [][]int {
+	var variants [][]int
+	if len(wts) > 0 {
+		variants = append(variants, wts)
+	}
+	trimmed := TrimEnds(wts)
+	if len(trimmed) > 0 {
+		variants = append(variants, trimmed)
+	}
+	base := trimmed
+	if len(base) == 0 {
+		base = wts
+	}
+	mergedSeq := MergeSmallWTs(base, closeTol, smallFrac)
+	if len(mergedSeq) > 0 && len(mergedSeq) != len(base) {
+		variants = append(variants, mergedSeq)
+	}
+	return variants
+}

@@ -1,0 +1,57 @@
+// Package sim provides the minute-slotted provision simulator the paper's
+// evaluation runs on, together with the Policy interface every scheduler
+// (SPES and the baselines) implements and the metric accounting (cold-start
+// rate, wasted memory time, effective memory consumption ratio, always-cold
+// ratio, per-tick overhead).
+//
+// Simulation principles follow Section V-A of the paper and Shahrad et al.:
+// one slot is one minute; every execution finishes within its slot; all
+// cold starts cost the same; all instances consume one unit of memory; a
+// single node holds every loaded instance.
+package sim
+
+import "repro/internal/trace"
+
+// Policy is a function-provision scheduler. The simulator drives it one slot
+// at a time:
+//
+//  1. At the start of slot t the simulator inspects the policy's loaded set
+//     to account cold starts: a function invoked at t that is not loaded is
+//     a cold start (and is then loaded on demand to serve the request).
+//  2. The simulator calls Tick(t, invocations) so the policy can observe
+//     the slot's arrivals and re-provision: pre-load functions whose
+//     predicted invocation is near, evict idle ones.
+//  3. After Tick, the loaded set is charged for memory: every loaded
+//     function counts one memory-unit-minute, and every loaded function
+//     that was NOT invoked at t adds one minute of wasted memory time.
+//
+// Implementations must treat Tick as their only clock source; t increases
+// by exactly 1 between calls, starting at 0.
+type Policy interface {
+	// Name identifies the policy in reports ("SPES", "Defuse", ...).
+	Name() string
+
+	// Train lets the policy model historical invocations before the
+	// simulation starts. Policies without an offline phase ignore it.
+	Train(training *trace.Trace)
+
+	// Tick observes slot t's invocations ((function, count) pairs, FuncID-
+	// ascending, only invoked functions present) and updates the loaded set.
+	Tick(t int, invocations []trace.FuncCount)
+
+	// Loaded reports whether f is currently loaded. It reflects the state
+	// after the most recent Tick.
+	Loaded(f trace.FuncID) bool
+
+	// LoadedCount returns the number of loaded functions (memory units).
+	LoadedCount() int
+}
+
+// TypeTagger is implemented by policies (SPES) that assign each function a
+// category; the per-type breakdowns of Figures 10 and 12 use it.
+type TypeTagger interface {
+	// TypeOf returns a stable category label for f ("regular", "unknown",
+	// ...). Policies may refine labels during simulation (e.g. an unknown
+	// function becoming "newly-possible").
+	TypeOf(f trace.FuncID) string
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width binned counter over the half-open range
+// [Min, Min+BinWidth*len(Counts)). Values outside the range are tallied in
+// UnderflowCount/OverflowCount rather than dropped, because the Hybrid
+// baseline's "out of bounds" fraction drives its fallback decision.
+type Histogram struct {
+	Min            float64
+	BinWidth       float64
+	Counts         []int64
+	UnderflowCount int64
+	OverflowCount  int64
+}
+
+// NewHistogram creates a histogram with bins bins of width binWidth starting
+// at min. It panics on a non-positive bin count or width: histograms are
+// always constructed from compile-time policy parameters, so a bad value is
+// a programming error, not a data error.
+func NewHistogram(min, binWidth float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: histogram bins must be positive, got %d", bins))
+	}
+	if binWidth <= 0 {
+		panic(fmt.Sprintf("stats: histogram bin width must be positive, got %g", binWidth))
+	}
+	return &Histogram{Min: min, BinWidth: binWidth, Counts: make([]int64, bins)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Min {
+		h.UnderflowCount++
+		return
+	}
+	bin := int((x - h.Min) / h.BinWidth)
+	if bin >= len(h.Counts) {
+		h.OverflowCount++
+		return
+	}
+	h.Counts[bin]++
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// TotalWithOOB returns all observations including out-of-bounds ones.
+func (h *Histogram) TotalWithOOB() int64 {
+	return h.Total() + h.UnderflowCount + h.OverflowCount
+}
+
+// OOBFraction returns the fraction of observations that fell outside the
+// histogram range, or 0 when nothing has been observed.
+func (h *Histogram) OOBFraction() float64 {
+	total := h.TotalWithOOB()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.UnderflowCount+h.OverflowCount) / float64(total)
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.BinWidth
+}
+
+// BinLow returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLow(i int) float64 {
+	return h.Min + float64(i)*h.BinWidth
+}
+
+// Percentile returns the lower edge of the first bin at which the cumulative
+// in-range mass reaches p (0 < p <= 1). The Hybrid policy reads its pre-warm
+// (5th percentile) and keep-alive (99th percentile) windows this way. ok is
+// false when the histogram holds no in-range observations.
+func (h *Histogram) Percentile(p float64) (float64, bool) {
+	total := h.Total()
+	if total == 0 {
+		return 0, false
+	}
+	target := int64(math.Ceil(p * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.BinLow(i), true
+		}
+	}
+	return h.BinLow(len(h.Counts) - 1), true
+}
+
+// CV returns the coefficient of variation of the binned distribution, using
+// bin centers as representative values. The Hybrid policy uses this to judge
+// whether a function's idle-time distribution is "representative" enough to
+// drive the histogram strategy. ok is false with no in-range observations.
+func (h *Histogram) CV() (float64, bool) {
+	total := h.Total()
+	if total == 0 {
+		return 0, false
+	}
+	var sum float64
+	for i, c := range h.Counts {
+		sum += h.BinCenter(i) * float64(c)
+	}
+	mean := sum / float64(total)
+	var ss float64
+	for i, c := range h.Counts {
+		d := h.BinCenter(i) - mean
+		ss += d * d * float64(c)
+	}
+	sd := math.Sqrt(ss / float64(total))
+	if mean == 0 {
+		if sd == 0 {
+			return 0, true
+		}
+		return math.Inf(1), true
+	}
+	return sd / mean, true
+}
+
+// Reset zeroes all counters, keeping the binning.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.UnderflowCount = 0
+	h.OverflowCount = 0
+}
+
+// Clone returns a deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	counts := make([]int64, len(h.Counts))
+	copy(counts, h.Counts)
+	return &Histogram{
+		Min:            h.Min,
+		BinWidth:       h.BinWidth,
+		Counts:         counts,
+		UnderflowCount: h.UnderflowCount,
+		OverflowCount:  h.OverflowCount,
+	}
+}
+
+// CountBuckets builds the log-scale bucket counts used to reproduce the
+// paper's Figure 3 (invocation imbalance): bucket i counts how many inputs
+// fall in [10^i, 10^(i+1)). Inputs of zero are counted in a dedicated first
+// bucket. The returned slice has maxExp+2 entries: [zeros, 10^0..10^1, ...].
+func CountBuckets(totals []int64, maxExp int) []int64 {
+	out := make([]int64, maxExp+2)
+	for _, t := range totals {
+		if t <= 0 {
+			out[0]++
+			continue
+		}
+		exp := int(math.Log10(float64(t)))
+		if exp > maxExp {
+			exp = maxExp
+		}
+		out[exp+1]++
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a Kolmogorov-Smirnov goodness-of-fit test.
+type KSResult struct {
+	Statistic float64 // sup |F_empirical - F_reference|
+	PValue    float64 // asymptotic p-value (Kolmogorov distribution)
+	N         int     // sample size
+}
+
+// Rejects reports whether the null hypothesis (sample drawn from the
+// reference distribution) is rejected at significance level alpha. The
+// paper's empirical analysis keeps functions whose invocations do NOT reject
+// the hypothesised distribution at alpha = 0.05.
+func (r KSResult) Rejects(alpha float64) bool {
+	return r.PValue < alpha
+}
+
+// KSTest runs a one-sample Kolmogorov-Smirnov test of xs against a reference
+// CDF given as a callback. It returns a zero-valued result for an empty
+// sample.
+func KSTest(xs []float64, refCDF func(float64) float64) KSResult {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var d float64
+	for i, x := range sorted {
+		f := refCDF(x)
+		// Compare against the empirical CDF just before and at x.
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return KSResult{Statistic: d, PValue: ksPValue(d, n), N: n}
+}
+
+// ksPValue computes the asymptotic two-sided p-value for KS statistic d with
+// sample size n, using the Kolmogorov distribution series with the
+// small-sample correction of Stephens (the same approximation SciPy applies
+// for moderate n, adequate for the paper's screening use).
+func ksPValue(d float64, n int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	if d >= 1 {
+		return 0
+	}
+	sqrtN := math.Sqrt(float64(n))
+	lambda := (sqrtN + 0.12 + 0.11/sqrtN) * d
+	// Kolmogorov series: P = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-10 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// UniformCDF returns the CDF of Uniform(a, b).
+func UniformCDF(a, b float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case x <= a:
+			return 0
+		case x >= b:
+			return 1
+		default:
+			return (x - a) / (b - a)
+		}
+	}
+}
+
+// ExponentialCDF returns the CDF of Exp(rate). Inter-arrival times of a
+// Poisson process are exponential, which is how the paper checks whether
+// HTTP-triggered invocations "follow a Poisson arrival process".
+func ExponentialCDF(rate float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*x)
+	}
+}
+
+// PoissonCDF returns the CDF of Poisson(lambda), evaluated by summing the
+// pmf up to floor(x).
+func PoissonCDF(lambda float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		k := int(math.Floor(x))
+		logLambda := math.Log(lambda)
+		var cum float64
+		logP := -lambda // log pmf at 0
+		for i := 0; i <= k; i++ {
+			cum += math.Exp(logP)
+			logP += logLambda - math.Log(float64(i+1))
+		}
+		if cum > 1 {
+			cum = 1
+		}
+		return cum
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSTestUniformAcceptsUniform(t *testing.T) {
+	g := NewRNG(42)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = g.Float64()
+	}
+	res := KSTest(xs, UniformCDF(0, 1))
+	if res.Rejects(0.05) {
+		t.Errorf("uniform sample rejected as uniform: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.N != 500 {
+		t.Errorf("N = %d, want 500", res.N)
+	}
+}
+
+func TestKSTestUniformRejectsExponential(t *testing.T) {
+	g := NewRNG(7)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = g.Exponential(3) // mass near 0, clearly not Uniform(0,1)
+	}
+	res := KSTest(xs, UniformCDF(0, 1))
+	if !res.Rejects(0.05) {
+		t.Errorf("exponential sample not rejected as uniform: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSTestExponentialAcceptsExponential(t *testing.T) {
+	g := NewRNG(11)
+	rate := 0.5
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = g.Exponential(rate)
+	}
+	res := KSTest(xs, ExponentialCDF(rate))
+	if res.Rejects(0.05) {
+		t.Errorf("exponential sample rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+func TestKSTestEmpty(t *testing.T) {
+	res := KSTest(nil, UniformCDF(0, 1))
+	if res.N != 0 || res.Statistic != 0 {
+		t.Errorf("empty KSTest = %+v", res)
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if p := ksPValue(0, 100); p != 1 {
+		t.Errorf("p(d=0) = %v, want 1", p)
+	}
+	if p := ksPValue(1, 100); p != 0 {
+		t.Errorf("p(d=1) = %v, want 0", p)
+	}
+	p := ksPValue(0.05, 100)
+	if p <= 0 || p >= 1 {
+		t.Errorf("p(0.05, 100) = %v, want in (0, 1)", p)
+	}
+	// Larger statistic => smaller p.
+	if ksPValue(0.2, 100) >= ksPValue(0.1, 100) {
+		t.Error("p-value not decreasing in D")
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	cdf := PoissonCDF(2)
+	if got := cdf(-1); got != 0 {
+		t.Errorf("PoissonCDF(-1) = %v, want 0", got)
+	}
+	// P(X <= 0) = e^-2.
+	if got := cdf(0); !almostEqual(got, math.Exp(-2), 1e-9) {
+		t.Errorf("PoissonCDF(0) = %v, want e^-2", got)
+	}
+	// CDF approaches 1 for large x.
+	if got := cdf(50); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("PoissonCDF(50) = %v, want ~1", got)
+	}
+	// Monotone.
+	if cdf(1) >= cdf(3) {
+		t.Error("PoissonCDF not increasing")
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	cdf := ExponentialCDF(1)
+	if got := cdf(0); got != 0 {
+		t.Errorf("ExpCDF(0) = %v, want 0", got)
+	}
+	if got := cdf(1); !almostEqual(got, 1-math.Exp(-1), 1e-12) {
+		t.Errorf("ExpCDF(1) = %v", got)
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	cdf := UniformCDF(2, 4)
+	cases := []struct{ x, want float64 }{{1, 0}, {2, 0}, {3, 0.5}, {4, 1}, {5, 1}}
+	for _, c := range cases {
+		if got := cdf(c.x); got != c.want {
+			t.Errorf("UniformCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

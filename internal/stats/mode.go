@@ -1,0 +1,98 @@
+package stats
+
+import "sort"
+
+// ModeCount is one entry of a frequency table: a value and how many times it
+// occurs.
+type ModeCount struct {
+	Value int
+	Count int
+}
+
+// FrequencyTable returns the distinct values of xs with their occurrence
+// counts, ordered by descending count and ascending value among ties. The
+// deterministic tie-break keeps categorization reproducible run to run.
+func FrequencyTable(xs []int) []ModeCount {
+	if len(xs) == 0 {
+		return nil
+	}
+	counts := make(map[int]int, len(xs))
+	for _, x := range xs {
+		counts[x]++
+	}
+	table := make([]ModeCount, 0, len(counts))
+	for v, c := range counts {
+		table = append(table, ModeCount{Value: v, Count: c})
+	}
+	sort.Slice(table, func(i, j int) bool {
+		if table[i].Count != table[j].Count {
+			return table[i].Count > table[j].Count
+		}
+		return table[i].Value < table[j].Value
+	})
+	return table
+}
+
+// Modes returns the n most frequent values of xs (fewer if xs has fewer
+// distinct values), most frequent first. This implements the paper's
+// Mode_n({WT}) operator used by the appro-regular and dense definitions.
+func Modes(xs []int, n int) []int {
+	table := FrequencyTable(xs)
+	if n > len(table) {
+		n = len(table)
+	}
+	out := make([]int, 0, n)
+	for _, mc := range table[:n] {
+		out = append(out, mc.Value)
+	}
+	return out
+}
+
+// Mode returns the single most frequent value of xs and its count. For an
+// empty slice it returns (0, 0).
+func Mode(xs []int) (value, count int) {
+	table := FrequencyTable(xs)
+	if len(table) == 0 {
+		return 0, 0
+	}
+	return table[0].Value, table[0].Count
+}
+
+// ModesCoverage returns the total occurrence count of the n most frequent
+// values of xs. The appro-regular definition requires this to reach 90% of
+// the sequence length.
+func ModesCoverage(xs []int, n int) int {
+	table := FrequencyTable(xs)
+	if n > len(table) {
+		n = len(table)
+	}
+	total := 0
+	for _, mc := range table[:n] {
+		total += mc.Count
+	}
+	return total
+}
+
+// ModeRange returns [min, max] over the k most frequent values of xs. This is
+// the "dense" type's predictive-value range. ok is false when xs is empty.
+func ModeRange(xs []int, k int) (min, max int, ok bool) {
+	modes := Modes(xs, k)
+	if len(modes) == 0 {
+		return 0, 0, false
+	}
+	min, max = MinMaxInts(modes)
+	return min, max, true
+}
+
+// RepeatedValues returns the values of xs occurring strictly more than once,
+// most frequent first. The "possible" type uses these as predictive values.
+func RepeatedValues(xs []int) []int {
+	table := FrequencyTable(xs)
+	var out []int
+	for _, mc := range table {
+		if mc.Count > 1 {
+			out = append(out, mc.Value)
+		}
+	}
+	return out
+}

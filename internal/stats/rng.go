@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the sampling distributions the workload generator
+// needs. A dedicated type (rather than bare *rand.Rand) keeps every sampler
+// in one place and makes generator code deterministic under a fixed seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// IntBetween returns a uniform sample in [lo, hi] inclusive. It panics if
+// hi < lo, which indicates a generator configuration bug.
+func (g *RNG) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("stats: IntBetween with hi < lo")
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Poisson returns a Poisson(lambda) sample. It uses Knuth's product method
+// for small lambda and a normal approximation for large lambda, which is
+// ample for per-minute invocation counts.
+func (g *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(g.r.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exponential returns an Exp(rate) sample.
+func (g *RNG) Exponential(rate float64) float64 {
+	return g.r.ExpFloat64() / rate
+}
+
+// Pareto returns a Pareto(xm, alpha) sample: heavy-tailed with minimum xm.
+// The invocation-count imbalance of Figure 3 is produced by drawing each
+// function's base rate from a Pareto distribution.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf returns a sample in [0, n) following a Zipf-like rank distribution
+// with exponent s, computed by inverse-transform on the truncated harmonic
+// weights. Used to pick which functions inside an application dominate.
+func (g *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// CDF inversion over ranks; n is small (functions per app) so the linear
+	// scan is fine.
+	var total float64
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	u := g.r.Float64() * total
+	var cum float64
+	for i := 1; i <= n; i++ {
+		cum += 1 / math.Pow(float64(i), s)
+		if u <= cum {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// Normal returns a Normal(mu, sigma) sample.
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return g.r.NormFloat64()*sigma + mu
+}
+
+// Jitter returns base plus uniform noise in [-spread, +spread], clamped to
+// be at least min.
+func (g *RNG) Jitter(base, spread, min int) int {
+	if spread <= 0 {
+		if base < min {
+			return min
+		}
+		return base
+	}
+	v := base + g.r.Intn(2*spread+1) - spread
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// WeightedChoice returns an index sampled proportionally to weights. It
+// panics when weights is empty or sums to a non-positive value, which is a
+// configuration error in the caller.
+func (g *RNG) WeightedChoice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: WeightedChoice on empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: WeightedChoice with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: WeightedChoice with non-positive total weight")
+	}
+	u := g.r.Float64() * total
+	var cum float64
+	for i, w := range weights {
+		cum += w
+		if u <= cum {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Split derives a child RNG whose stream is independent of subsequent draws
+// from the parent. Each function's invocation series is generated from its
+// own child RNG so that adding functions does not perturb existing ones.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV I/O compatible with the Microsoft Azure Functions 2019 trace schema
+// ("invocations_per_function_md.anon.dXX.csv"): one row per function per
+// day, columns HashOwner, HashApp, HashFunction, Trigger, then 1440
+// per-minute invocation counts ("1".."1440").
+//
+// The reproduction's generator writes this format so the real trace can be
+// dropped in unchanged, and the reader accepts multi-day concatenation by
+// accumulating rows with the same function hash across day files.
+
+const slotsPerDay = 1440
+
+// WriteCSV writes the trace as day-partitioned Azure-schema CSV to w, one
+// day after another (day column ordering matches the public dataset). Days
+// with no invocations for a function still get a row of zeros, as in the
+// original files.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 4+slotsPerDay)
+	header[0], header[1], header[2], header[3] = "HashOwner", "HashApp", "HashFunction", "Trigger"
+	for i := 0; i < slotsPerDay; i++ {
+		header[4+i] = strconv.Itoa(i + 1)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+
+	days := (tr.Slots + slotsPerDay - 1) / slotsPerDay
+	row := make([]string, 4+slotsPerDay)
+	for day := 0; day < days; day++ {
+		lo := int32(day * slotsPerDay)
+		hi := lo + slotsPerDay
+		for fid, f := range tr.Functions {
+			row[0], row[1], row[2], row[3] = f.User, f.App, f.Name, f.Trigger.String()
+			for i := 0; i < slotsPerDay; i++ {
+				row[4+i] = "0"
+			}
+			for _, e := range tr.Series[fid] {
+				if e.Slot >= lo && e.Slot < hi {
+					row[4+int(e.Slot-lo)] = strconv.Itoa(int(e.Count))
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses one or more concatenated Azure-schema day files from r.
+// Rows are keyed by (owner, app, function) so the same function appearing
+// in several day sections accumulates: its n-th appearance contributes
+// slots [n*1440, (n+1)*1440). Repeated headers (from file concatenation)
+// are skipped.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better error message
+
+	type funcKey struct{ user, app, name string }
+	ids := make(map[funcKey]FuncID)
+	daySeen := make(map[funcKey]int)
+	tr := NewTrace(0)
+
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		line++
+		if len(rec) > 0 && rec[0] == "HashOwner" {
+			continue // header (possibly repeated by concatenation)
+		}
+		if len(rec) != 4+slotsPerDay {
+			return nil, fmt.Errorf("trace: CSV line %d has %d fields, want %d", line, len(rec), 4+slotsPerDay)
+		}
+		trig, err := ParseTrigger(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		key := funcKey{user: rec[0], app: rec[1], name: rec[2]}
+		id, ok := ids[key]
+		if !ok {
+			id = tr.AddFunction(rec[2], rec[1], rec[0], trig, nil)
+			ids[key] = id
+		}
+		day := daySeen[key]
+		daySeen[key] = day + 1
+		base := int32(day * slotsPerDay)
+
+		var events []Event
+		for i := 0; i < slotsPerDay; i++ {
+			v := rec[4+i]
+			if v == "0" || v == "" {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV line %d slot %d: %w", line, i+1, err)
+			}
+			if n <= 0 {
+				continue
+			}
+			events = append(events, Event{Slot: base + int32(i), Count: int32(n)})
+		}
+		if len(events) > 0 {
+			tr.Series[id] = append(tr.Series[id], events...)
+		}
+		if got := (day + 1) * slotsPerDay; got > tr.Slots {
+			tr.Slots = got
+		}
+	}
+
+	// Restore Series invariants after raw appends.
+	for i := range tr.Series {
+		tr.Series[i] = normalize(tr.Series[i])
+	}
+	return tr, nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := NewTrace(2 * slotsPerDay)
+	tr.AddFunction("f0", "appA", "u1", TriggerHTTP,
+		[]Event{{Slot: 0, Count: 3}, {Slot: 1439, Count: 1}, {Slot: 1440, Count: 7}})
+	tr.AddFunction("f1", "appA", "u1", TriggerTimer,
+		[]Event{{Slot: 2000, Count: 2}})
+	tr.AddFunction("f2", "appB", "u2", TriggerQueue, nil) // never invoked
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.NumFunctions() != 3 {
+		t.Fatalf("functions = %d, want 3", back.NumFunctions())
+	}
+	if back.Slots != tr.Slots {
+		t.Fatalf("slots = %d, want %d", back.Slots, tr.Slots)
+	}
+	for i := range tr.Series {
+		// Identify the matching function by name (order may differ).
+		var match FuncID = -1
+		for j, f := range back.Functions {
+			if f.Name == tr.Functions[i].Name {
+				match = FuncID(j)
+				break
+			}
+		}
+		if match < 0 {
+			t.Fatalf("function %s missing after round trip", tr.Functions[i].Name)
+		}
+		if !reflect.DeepEqual(back.Series[match], tr.Series[i]) {
+			t.Errorf("series %s = %v, want %v", tr.Functions[i].Name, back.Series[match], tr.Series[i])
+		}
+		if back.Functions[match].Trigger != tr.Functions[i].Trigger {
+			t.Errorf("trigger mismatch for %s", tr.Functions[i].Name)
+		}
+		if back.Functions[match].App != tr.Functions[i].App || back.Functions[match].User != tr.Functions[i].User {
+			t.Errorf("metadata mismatch for %s", tr.Functions[i].Name)
+		}
+	}
+}
+
+func TestReadCSVRepeatedHeader(t *testing.T) {
+	// Concatenated day files repeat the header; the reader must skip it.
+	tr := NewTrace(slotsPerDay)
+	tr.AddFunction("f0", "a", "u", TriggerHTTP, []Event{{Slot: 5, Count: 1}})
+	var day bytes.Buffer
+	if err := WriteCSV(&day, tr); err != nil {
+		t.Fatal(err)
+	}
+	doubled := day.String() + day.String() // two identical day files
+	back, err := ReadCSV(strings.NewReader(doubled))
+	if err != nil {
+		t.Fatalf("ReadCSV concatenated: %v", err)
+	}
+	if back.Slots != 2*slotsPerDay {
+		t.Errorf("slots = %d, want %d", back.Slots, 2*slotsPerDay)
+	}
+	want := Series{{Slot: 5, Count: 1}, {Slot: slotsPerDay + 5, Count: 1}}
+	if !reflect.DeepEqual(back.Series[0], want) {
+		t.Errorf("series = %v, want %v", back.Series[0], want)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("u,a,f,http,1,2\n")); err == nil {
+		t.Error("short row should fail")
+	}
+	longRow := "u,a,f,badtrigger" + strings.Repeat(",0", slotsPerDay) + "\n"
+	if _, err := ReadCSV(strings.NewReader(longRow)); err == nil {
+		t.Error("bad trigger should fail")
+	}
+	badCount := "u,a,f,http" + strings.Repeat(",0", slotsPerDay-1) + ",xyz\n"
+	if _, err := ReadCSV(strings.NewReader(badCount)); err == nil {
+		t.Error("non-numeric count should fail")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	if tr.NumFunctions() != 0 || tr.Slots != 0 {
+		t.Errorf("empty trace = %d funcs, %d slots", tr.NumFunctions(), tr.Slots)
+	}
+}
+
+func TestCSVGeneratedRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("round-tripping a generated trace is slow")
+	}
+	tr := genSmall(t, 120, 2, 21)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalInvocations() != tr.TotalInvocations() {
+		t.Errorf("invocations = %d, want %d", back.TotalInvocations(), tr.TotalInvocations())
+	}
+	if back.NumFunctions() != tr.NumFunctions() {
+		t.Errorf("functions = %d, want %d", back.NumFunctions(), tr.NumFunctions())
+	}
+}

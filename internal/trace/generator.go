@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// GeneratorConfig parameterizes the synthetic Azure-like workload. The
+// defaults reproduce the published statistics of the Azure Functions 2019
+// trace that the paper's analysis reports; see DESIGN.md for the mapping.
+type GeneratorConfig struct {
+	Seed      int64
+	Functions int // total function count
+	Days      int // trace length in days (1440 slots each)
+
+	// TriggerMix gives the probability of each trigger type, indexed by
+	// Trigger. Zero value uses the paper's Figure 5 proportions.
+	TriggerMix []float64
+
+	// ShiftFraction is the share of eligible functions that experience a
+	// concept shift (rate or period change) partway through the trace,
+	// reproducing Figure 4's behaviour.
+	ShiftFraction float64
+
+	// ChainFraction is the share of multi-function applications whose
+	// functions form an invocation chain (driver -> lagged followers),
+	// giving rise to the correlated behaviour of Section III-B2.
+	ChainFraction float64
+
+	// MeanAppSize controls how many functions an application has
+	// (geometric-ish, >= 1). The Azure trace averages ~3.3 functions/app.
+	MeanAppSize float64
+
+	// MeanAppsPerUser controls applications per user (~1.65 in the trace).
+	MeanAppsPerUser float64
+}
+
+// DefaultGeneratorConfig returns the calibrated defaults for n functions
+// over days days.
+func DefaultGeneratorConfig(n, days int, seed int64) GeneratorConfig {
+	return GeneratorConfig{
+		Seed:            seed,
+		Functions:       n,
+		Days:            days,
+		ShiftFraction:   0.10,
+		ChainFraction:   0.40,
+		MeanAppSize:     3.3,
+		MeanAppsPerUser: 1.65,
+	}
+}
+
+// figure5Mix is the trigger distribution the paper reports (Figure 5).
+var figure5Mix = []float64{
+	TriggerHTTP:          0.4119,
+	TriggerTimer:         0.2664,
+	TriggerQueue:         0.1440,
+	TriggerOrchestration: 0.0776,
+	TriggerEvent:         0.0252,
+	TriggerStorage:       0.0219,
+	TriggerOthers:        0.0272,
+	TriggerCombination:   0.0260,
+}
+
+// archetypeMixFor returns the archetype sampling weights for a trigger,
+// calibrated to the paper's analysis: 68.12% of timer functions periodic or
+// quasi-periodic, 45.02% of HTTP functions Poisson, queue traffic dense,
+// storage/event bursty, and a silent sliver everywhere (743 of 83,137
+// functions never appear in training).
+func archetypeMixFor(trig Trigger) []float64 {
+	w := make([]float64, numArchetypes)
+	switch trig {
+	case TriggerTimer:
+		w[ArchPeriodic] = 0.52
+		w[ArchQuasiPeriodic] = 0.17
+		w[ArchAlwaysOn] = 0.05
+		w[ArchPoisson] = 0.06
+		w[ArchRare] = 0.14
+		w[ArchPulsed] = 0.05
+		w[ArchSilent] = 0.01
+	case TriggerHTTP:
+		// 45.02% of sufficiently sampled HTTP functions are Poisson and
+		// 36.20% lack samples (the sparse, temporally local population).
+		w[ArchPoisson] = 0.24
+		w[ArchDense] = 0.12
+		w[ArchBursty] = 0.12
+		w[ArchPulsed] = 0.12
+		w[ArchRare] = 0.37
+		w[ArchAlwaysOn] = 0.02
+		w[ArchSilent] = 0.01
+	case TriggerQueue:
+		w[ArchDense] = 0.38
+		w[ArchPoisson] = 0.20
+		w[ArchBursty] = 0.14
+		w[ArchPulsed] = 0.08
+		w[ArchRare] = 0.19
+		w[ArchSilent] = 0.01
+	case TriggerOrchestration:
+		// Orchestration functions are mostly chained; the chain machinery
+		// overrides series for followers, so the base mix covers drivers.
+		w[ArchDense] = 0.20
+		w[ArchPoisson] = 0.25
+		w[ArchBursty] = 0.20
+		w[ArchPulsed] = 0.15
+		w[ArchRare] = 0.19
+		w[ArchSilent] = 0.01
+	case TriggerEvent:
+		w[ArchBursty] = 0.33
+		w[ArchPoisson] = 0.11
+		w[ArchPulsed] = 0.20
+		w[ArchRare] = 0.35
+		w[ArchSilent] = 0.01
+	case TriggerStorage:
+		w[ArchBursty] = 0.40
+		w[ArchPulsed] = 0.20
+		w[ArchRare] = 0.38
+		w[ArchSilent] = 0.02
+	default: // others, combination
+		w[ArchPoisson] = 0.14
+		w[ArchPeriodic] = 0.10
+		w[ArchDense] = 0.10
+		w[ArchBursty] = 0.15
+		w[ArchPulsed] = 0.15
+		w[ArchRare] = 0.34
+		w[ArchSilent] = 0.02
+	}
+	return w
+}
+
+// Generate synthesizes a workload trace per cfg. The same config always
+// produces the same trace.
+func Generate(cfg GeneratorConfig) (*Trace, error) {
+	if cfg.Functions <= 0 {
+		return nil, fmt.Errorf("trace: config needs a positive function count, got %d", cfg.Functions)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("trace: config needs a positive day count, got %d", cfg.Days)
+	}
+	mix := cfg.TriggerMix
+	if len(mix) == 0 {
+		mix = figure5Mix
+	}
+	if len(mix) != int(numTriggers) {
+		return nil, fmt.Errorf("trace: trigger mix needs %d entries, got %d", numTriggers, len(mix))
+	}
+	if cfg.MeanAppSize < 1 {
+		cfg.MeanAppSize = 1
+	}
+	if cfg.MeanAppsPerUser < 1 {
+		cfg.MeanAppsPerUser = 1
+	}
+
+	slots := cfg.Days * 1440
+	g := stats.NewRNG(cfg.Seed)
+	tr := NewTrace(slots)
+
+	userID := 0
+	appID := 0
+	remaining := cfg.Functions
+	for remaining > 0 {
+		user := fmt.Sprintf("user%05d", userID)
+		userID++
+		nApps := sampleSize(g, cfg.MeanAppsPerUser)
+		for a := 0; a < nApps && remaining > 0; a++ {
+			app := fmt.Sprintf("app%06d", appID)
+			appID++
+			size := sampleSize(g, cfg.MeanAppSize)
+			if size > remaining {
+				size = remaining
+			}
+			remaining -= size
+			generateApp(tr, g, cfg, mix, user, app, size)
+		}
+	}
+	return tr, nil
+}
+
+// sampleSize draws an application/user cardinality >= 1 with the given mean,
+// using a geometric distribution (memoryless app growth is a decent fit for
+// the trace's size histogram).
+func sampleSize(g *stats.RNG, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !g.Bool(p) && n < 64 {
+		n++
+	}
+	return n
+}
+
+// generateApp emits one application's functions, possibly linked in a chain.
+func generateApp(tr *Trace, g *stats.RNG, cfg GeneratorConfig, mix []float64, user, app string, size int) {
+	chained := size >= 2 && g.Bool(cfg.ChainFraction)
+
+	var driverEvents []Event
+	for i := 0; i < size; i++ {
+		fg := g.Split()
+		trig := Trigger(g.WeightedChoice(mix))
+		name := fmt.Sprintf("%s-f%02d", app, i)
+
+		var events []Event
+		if chained && i > 0 && len(driverEvents) > 0 {
+			// Followers fire a small lag after the driver, with dropout:
+			// function chaining / fan-out behaviour (Section III-B2). The
+			// follower keeps its sampled trigger so the population matches
+			// Figure 5's proportions.
+			events = chainFollower(fg, driverEvents, tr.Slots)
+		} else {
+			arch := Archetype(fg.WeightedChoice(archetypeMixFor(trig)))
+			events = synthesize(arch, fg, tr.Slots)
+			if cfg.ShiftFraction > 0 && fg.Bool(cfg.ShiftFraction) {
+				events = applyShift(fg, events, tr.Slots)
+			}
+			if i == 0 {
+				driverEvents = events
+			}
+		}
+		tr.AddFunction(name, app, user, trig, events)
+	}
+}
+
+// chainFollower derives a follower series from its driver: each driver
+// firing triggers the follower lag slots later with probability keepP.
+func chainFollower(g *stats.RNG, driver []Event, slots int) []Event {
+	lag := 1 + g.Intn(3)
+	keepP := 0.7 + g.Float64()*0.3
+	var events []Event
+	for _, e := range driver {
+		if !g.Bool(keepP) {
+			continue
+		}
+		slot := int(e.Slot) + lag
+		if slot >= slots {
+			continue
+		}
+		count := e.Count
+		if count > 1 && g.Bool(0.3) {
+			count = 1 + int32(g.Intn(int(count)))
+		}
+		events = append(events, Event{Slot: int32(slot), Count: count})
+	}
+	return events
+}
+
+// applyShift injects a concept shift: after a change point the series is
+// re-generated with different parameters (new archetype draw), reproducing
+// the mid-trace behaviour changes of Figure 4.
+func applyShift(g *stats.RNG, events []Event, slots int) []Event {
+	if len(events) < 4 {
+		return events
+	}
+	// Change point in the middle 60% of the trace.
+	cut := slots/5 + g.Intn(slots*3/5)
+	var kept []Event
+	for _, e := range events {
+		if int(e.Slot) < cut {
+			kept = append(kept, e)
+		}
+	}
+	// New behaviour after the cut: rescale by regenerating a (possibly
+	// different) archetype and shifting it into the remaining window.
+	arch := Archetype(g.WeightedChoice([]float64{
+		ArchAlwaysOn:      0.05,
+		ArchPeriodic:      0.2,
+		ArchQuasiPeriodic: 0.1,
+		ArchPoisson:       0.25,
+		ArchDense:         0.15,
+		ArchBursty:        0.1,
+		ArchPulsed:        0.05,
+		ArchRare:          0.05,
+		ArchSilent:        0.05,
+	}))
+	tail := synthesize(arch, g, slots-cut)
+	for _, e := range tail {
+		kept = append(kept, Event{Slot: e.Slot + int32(cut), Count: e.Count})
+	}
+	return kept
+}

@@ -1,0 +1,177 @@
+// Package spes is the public API of the SPES reproduction: a differentiated
+// serverless function provisioning scheduler (Lee et al., ICDE 2024) with
+// the workload substrate, simulator, and baseline schedulers its evaluation
+// depends on.
+//
+// The typical flow:
+//
+//	cfg := spes.DefaultGeneratorConfig(2000, 14, 1)   // or read a real trace CSV
+//	full, _ := spes.GenerateTrace(cfg)
+//	train, simTr := full.Split(12 * 1440)             // 12 days train, 2 days simulate
+//
+//	policy := spes.NewSPES(spes.DefaultSPESConfig())
+//	res, _ := spes.Run(policy, train, simTr, spes.Options{})
+//	fmt.Println(res.QuantileCSR(0.75), res.MeanLoaded())
+//
+// Custom schedulers implement the Policy interface and run under the same
+// simulator and metrics; see examples/custompolicy.
+package spes
+
+import (
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Workload types re-exported from the trace substrate.
+type (
+	// Trace is a complete workload: function metadata plus a per-minute
+	// invocation series per function.
+	Trace = trace.Trace
+	// Function is per-function metadata (anonymized owner, app, trigger).
+	Function = trace.Function
+	// FuncID identifies a function within a Trace.
+	FuncID = trace.FuncID
+	// Event is one sparse invocation observation (slot, count).
+	Event = trace.Event
+	// Series is a sparse per-minute invocation series.
+	Series = trace.Series
+	// Trigger enumerates Azure Functions trigger types.
+	Trigger = trace.Trigger
+	// FuncCount is one function's invocation count within a slot.
+	FuncCount = trace.FuncCount
+	// GeneratorConfig parameterizes the synthetic Azure-like workload.
+	GeneratorConfig = trace.GeneratorConfig
+)
+
+// Trigger values (Figure 5's categories).
+const (
+	TriggerHTTP          = trace.TriggerHTTP
+	TriggerTimer         = trace.TriggerTimer
+	TriggerQueue         = trace.TriggerQueue
+	TriggerOrchestration = trace.TriggerOrchestration
+	TriggerEvent         = trace.TriggerEvent
+	TriggerStorage       = trace.TriggerStorage
+	TriggerOthers        = trace.TriggerOthers
+	TriggerCombination   = trace.TriggerCombination
+)
+
+// Simulation types re-exported from the simulator substrate.
+type (
+	// Policy is the scheduler interface every provisioner implements.
+	Policy = sim.Policy
+	// Result is a simulation outcome with all the paper's metrics.
+	Result = sim.Result
+	// FuncMetrics is one function's simulation outcome.
+	FuncMetrics = sim.FuncMetrics
+	// Options tunes a simulation run.
+	Options = sim.Options
+)
+
+// SPES configuration types.
+type (
+	// Config is the full SPES parameter set, ablation switches included.
+	Config = core.Config
+	// ClassifyConfig carries the categorization thresholds of Section IV.
+	ClassifyConfig = classify.Config
+	// FunctionType is a SPES category (regular, dense, pulsed, ...).
+	FunctionType = classify.Type
+	// Profile is a function's categorization outcome.
+	Profile = classify.Profile
+)
+
+// SPES is the paper's scheduler; construct with NewSPES.
+type SPES = core.SPES
+
+// DefaultSPESConfig returns the paper's evaluation settings
+// (theta_prewarm = 2, theta_givenup = 5 for dense/pulsed and 1 otherwise,
+// alpha = 0.5, T-COR threshold 0.5 with T <= 10).
+func DefaultSPESConfig() Config { return core.DefaultConfig() }
+
+// NewSPES builds the SPES policy. Train it via Run (or call Train directly)
+// before simulating.
+func NewSPES(cfg Config) *SPES { return core.New(cfg) }
+
+// DefaultGeneratorConfig returns the calibrated synthetic-workload defaults
+// for n functions over days days (see DESIGN.md for the calibration).
+func DefaultGeneratorConfig(n, days int, seed int64) GeneratorConfig {
+	return trace.DefaultGeneratorConfig(n, days, seed)
+}
+
+// GenerateTrace synthesizes an Azure-like workload.
+func GenerateTrace(cfg GeneratorConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// NewTrace creates an empty workload spanning the given number of
+// one-minute slots; add functions with AddFunction.
+func NewTrace(slots int) *Trace { return trace.NewTrace(slots) }
+
+// ReadTraceCSV parses an Azure-schema trace CSV (day files may be
+// concatenated).
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// WriteTraceCSV writes a workload in the Azure trace CSV schema.
+func WriteTraceCSV(w io.Writer, tr *Trace) error { return trace.WriteCSV(w, tr) }
+
+// Run trains the policy on training (nil skips the offline phase) and
+// simulates it over simTrace.
+func Run(policy Policy, training, simTrace *Trace, opts Options) (*Result, error) {
+	return sim.Run(policy, training, simTrace, opts)
+}
+
+// RunAll simulates several policies over the same train/sim pair.
+func RunAll(policies []Policy, training, simTrace *Trace, opts Options) ([]*Result, error) {
+	return sim.RunAll(policies, training, simTrace, opts)
+}
+
+// Baseline constructors (the paper's comparison points).
+
+// NewFixedKeepAlive returns the fixed keep-alive policy (the paper uses 10
+// minutes).
+func NewFixedKeepAlive(minutes int) Policy { return baselines.NewFixedKeepAlive(minutes) }
+
+// NewHybridFunction returns the histogram policy of Shahrad et al. at
+// function granularity (HF).
+func NewHybridFunction() Policy {
+	return baselines.NewHybridFunction(baselines.DefaultHybridConfig())
+}
+
+// NewHybridApplication returns the histogram policy at application
+// granularity (HA), the original paper's unit.
+func NewHybridApplication() Policy {
+	return baselines.NewHybridApplication(baselines.DefaultHybridConfig())
+}
+
+// NewDefuse returns the dependency-mining scheduler of Shen et al.
+func NewDefuse() Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) }
+
+// NewFaaSCache returns the Greedy-Dual caching policy of Fuerst & Sharma
+// with the given instance capacity (the paper sets it to SPES's maximum
+// memory).
+func NewFaaSCache(capacity int) Policy { return baselines.NewFaaSCache(capacity) }
+
+// NewLCS returns the LRU warm-container policy of Sethi et al. (extension).
+func NewLCS(capacity int) Policy { return baselines.NewLCS(capacity) }
+
+// QoSClass is a priority level for the QoS extension (paper Section VI-A3).
+type QoSClass = qos.Class
+
+// QoS priority levels, from most to least protected.
+const (
+	QoSCritical   = qos.Critical
+	QoSStandard   = qos.Standard
+	QoSBestEffort = qos.BestEffort
+)
+
+// WithQoS wraps any policy with the budgeted, class-aware residency module
+// the paper sketches as future work: under memory pressure, best-effort
+// functions lose their warmth before standard ones, and critical functions
+// last. classOf is indexed by FuncID; missing entries default to
+// QoSStandard.
+func WithQoS(inner Policy, budget int, classOf []QoSClass) Policy {
+	return qos.New(inner, budget, classOf)
+}
