@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	s := experiments.DefaultSettings()
+	s.Functions = 400
+	s.Days = 8
+	s.TrainDays = 6
+	for seed := int64(1); seed <= 3; seed++ {
+		s.Seed = seed
+		_, train, simTr, err := experiments.BuildWorkload(s)
+		if err != nil {
+			panic(err)
+		}
+		cfgD := core.DefaultConfig()
+		cfgD.DenseScan = true
+		rd, err := sim.Run(core.New(cfgD), train, simTr, sim.Options{})
+		if err != nil {
+			panic(err)
+		}
+		re, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rd.Overhead, re.Overhead = 0, 0
+		if !reflect.DeepEqual(rd, re) {
+			fmt.Printf("seed %d: MISMATCH\n", seed)
+			fmt.Printf("dense: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory, rd.EMCRSum, rd.MaxLoaded)
+			fmt.Printf("event: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", re.TotalColdStarts, re.TotalWMT, re.TotalMemory, re.EMCRSum, re.MaxLoaded)
+			n := 0
+			for fid := range rd.PerFunc {
+				if rd.PerFunc[fid] != re.PerFunc[fid] {
+					fmt.Printf("  f%d dense=%+v event=%+v type=%s\n", fid, rd.PerFunc[fid], re.PerFunc[fid], rd.Types[fid])
+					n++
+					if n > 8 {
+						break
+					}
+				}
+			}
+			for fid := range rd.Types {
+				if rd.Types[fid] != re.Types[fid] {
+					fmt.Printf("  f%d type dense=%s event=%s\n", fid, rd.Types[fid], re.Types[fid])
+					n++
+					if n > 12 {
+						break
+					}
+				}
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n", seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
+	}
+}

@@ -1,0 +1,176 @@
+// Equivalence tests: the event-driven scheduling core and the incremental
+// (load/unload-delta) simulation accounting must reproduce the retained
+// dense reference implementations bit for bit. Every sim.Result field —
+// cold starts, WMT, EMCR, memory, per-function metrics, type labels — is
+// compared across engines and accounting modes on seeded generator
+// workloads.
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scanOnly hides a policy's LoadDeltaTracker so sim.Run falls back to the
+// dense per-slot accounting scan; it is the reference the delta-accounting
+// path is verified against.
+type scanOnly struct{ sim.Policy }
+
+// scanOnlyTagged additionally forwards TypeTagger for policies (SPES) that
+// label functions, so the reference result carries the same Types field.
+type scanOnlyTagged struct{ sim.Policy }
+
+func (s scanOnlyTagged) TypeOf(f trace.FuncID) string {
+	return s.Policy.(sim.TypeTagger).TypeOf(f)
+}
+
+func eqvSettings(seed int64) experiments.Settings {
+	s := experiments.DefaultSettings()
+	s.Functions = 300
+	s.Days = 6
+	s.TrainDays = 4
+	s.Seed = seed
+	return s
+}
+
+// assertSameResult compares two results modulo Overhead (wall-clock noise).
+func assertSameResult(t *testing.T, label string, want, got *sim.Result) {
+	t.Helper()
+	w, g := *want, *got
+	w.Overhead, g.Overhead = 0, 0
+	if reflect.DeepEqual(&w, &g) {
+		return
+	}
+	t.Errorf("%s: results differ: cold=%d/%d wmt=%d/%d mem=%d/%d emcr=%v/%v max=%d/%d",
+		label,
+		w.TotalColdStarts, g.TotalColdStarts,
+		w.TotalWMT, g.TotalWMT,
+		w.TotalMemory, g.TotalMemory,
+		w.EMCRSum, g.EMCRSum,
+		w.MaxLoaded, g.MaxLoaded)
+	for fid := range w.PerFunc {
+		if w.PerFunc[fid] != g.PerFunc[fid] {
+			t.Errorf("%s: f%d per-func want=%+v got=%+v", label, fid, w.PerFunc[fid], g.PerFunc[fid])
+			return
+		}
+	}
+	for fid := range w.Types {
+		if w.Types[fid] != g.Types[fid] {
+			t.Errorf("%s: f%d type want=%s got=%s", label, fid, w.Types[fid], g.Types[fid])
+			return
+		}
+	}
+}
+
+// TestSPESEventEngineEquivalence runs the event-driven SPES against the
+// dense per-slot reference on three seeded workloads, in every combination
+// of scheduling engine × accounting mode, and requires identical results.
+func TestSPESEventEngineEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, train, simTr, err := experiments.BuildWorkload(eqvSettings(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		denseCfg := core.DefaultConfig()
+		denseCfg.DenseScan = true
+
+		// Reference: dense engine, dense accounting scan.
+		ref, err := sim.Run(scanOnlyTagged{core.New(denseCfg)}, train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.TotalColdStarts == 0 || ref.TotalWMT == 0 {
+			t.Fatalf("seed %d: degenerate reference workload: %+v", seed, ref)
+		}
+
+		cases := []struct {
+			label  string
+			policy sim.Policy
+		}{
+			{"event engine + delta accounting", core.New(core.DefaultConfig())},
+			{"event engine + scan accounting", scanOnlyTagged{core.New(core.DefaultConfig())}},
+			{"dense engine + delta accounting", core.New(denseCfg)},
+		}
+		for _, c := range cases {
+			got, err := sim.Run(c.policy, train, simTr, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, c.label, ref, got)
+		}
+	}
+}
+
+// TestBaselineDeltaAccountingEquivalence verifies that every baseline's
+// delta log drives the incremental accounting to the exact result of the
+// dense scan.
+func TestBaselineDeltaAccountingEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		_, train, simTr, err := experiments.BuildWorkload(eqvSettings(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacity := train.NumFunctions() / 10
+		mks := []func() sim.Policy{
+			func() sim.Policy { return baselines.NewFixedKeepAlive(10) },
+			func() sim.Policy { return baselines.NewHybridFunction(baselines.DefaultHybridConfig()) },
+			func() sim.Policy { return baselines.NewHybridApplication(baselines.DefaultHybridConfig()) },
+			func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+			func() sim.Policy { return baselines.NewFaaSCache(capacity) },
+			func() sim.Policy { return baselines.NewLCS(capacity) },
+		}
+		for _, mk := range mks {
+			ref, err := sim.Run(scanOnly{mk()}, train, simTr, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.Run(mk(), train, simTr, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, got.Policy, ref, got)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSequential pins RunAll's concurrent execution to
+// the per-policy sequential results, in input order.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mks := []func() sim.Policy{
+		func() sim.Policy { return core.New(core.DefaultConfig()) },
+		func() sim.Policy { return baselines.NewFixedKeepAlive(10) },
+		func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+		func() sim.Policy { return baselines.NewLCS(train.NumFunctions() / 10) },
+	}
+	var seq []*sim.Result
+	var par []sim.Policy
+	for _, mk := range mks {
+		r, err := sim.Run(mk(), train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, r)
+		par = append(par, mk())
+	}
+	got, err := sim.RunAll(par, train, simTr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("RunAll returned %d results, want %d", len(got), len(seq))
+	}
+	for i := range seq {
+		assertSameResult(t, seq[i].Policy, seq[i], got[i])
+	}
+}

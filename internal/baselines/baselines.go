@@ -11,10 +11,13 @@ package baselines
 import "repro/internal/trace"
 
 // loadedSet tracks the loaded-function set with O(1) membership and count,
-// shared by the baseline policies.
+// shared by the baseline policies. Every actual flip is appended to the
+// delta log, which backs the policies' sim.LoadDeltaTracker implementations
+// (takeDeltas hands the log to the simulator's incremental accounting).
 type loadedSet struct {
 	loaded []bool
 	count  int
+	deltas []trace.FuncID
 }
 
 func newLoadedSet(n int) *loadedSet {
@@ -27,6 +30,7 @@ func (l *loadedSet) add(f trace.FuncID) {
 	if !l.loaded[f] {
 		l.loaded[f] = true
 		l.count++
+		l.deltas = append(l.deltas, f)
 	}
 }
 
@@ -34,7 +38,20 @@ func (l *loadedSet) remove(f trace.FuncID) {
 	if l.loaded[f] {
 		l.loaded[f] = false
 		l.count--
+		l.deltas = append(l.deltas, f)
 	}
+}
+
+// takeDeltas returns the flips logged since the previous call and resets the
+// log; the slice is valid until the set's next mutation. A nil receiver
+// (policy not yet initialized) has no flips to report.
+func (l *loadedSet) takeDeltas() ([]trace.FuncID, bool) {
+	if l == nil {
+		return nil, true
+	}
+	d := l.deltas
+	l.deltas = l.deltas[:0]
+	return d, true
 }
 
 // agenda schedules per-slot callbacks keyed by an owner id and a sequence

@@ -208,3 +208,6 @@ func (p *Defuse) Loaded(f trace.FuncID) bool { return p.set.has(f) }
 
 // LoadedCount implements sim.Policy.
 func (p *Defuse) LoadedCount() int { return p.set.count }
+
+// TakeLoadDeltas implements sim.LoadDeltaTracker.
+func (p *Defuse) TakeLoadDeltas() ([]trace.FuncID, bool) { return p.set.takeDeltas() }

@@ -132,3 +132,6 @@ func (h *cacheHeap) Pop() any {
 	h.owner.index[f] = -1
 	return f
 }
+
+// TakeLoadDeltas implements sim.LoadDeltaTracker.
+func (p *FaaSCache) TakeLoadDeltas() ([]trace.FuncID, bool) { return p.set.takeDeltas() }

@@ -91,3 +91,6 @@ func (p *FixedKeepAlive) Loaded(f trace.FuncID) bool { return p.set.has(f) }
 
 // LoadedCount implements sim.Policy.
 func (p *FixedKeepAlive) LoadedCount() int { return p.set.count }
+
+// TakeLoadDeltas implements sim.LoadDeltaTracker.
+func (p *FixedKeepAlive) TakeLoadDeltas() ([]trace.FuncID, bool) { return p.set.takeDeltas() }

@@ -299,3 +299,6 @@ func (p *Hybrid) String() string {
 	return fmt.Sprintf("%s(range=%dm, head=%.0f%%, tail=%.0f%%)",
 		p.Name(), p.cfg.RangeMins, p.cfg.PrewarmPct*100, p.cfg.KeepAlivePct*100)
 }
+
+// TakeLoadDeltas implements sim.LoadDeltaTracker.
+func (p *Hybrid) TakeLoadDeltas() ([]trace.FuncID, bool) { return p.set.takeDeltas() }

@@ -117,3 +117,6 @@ func (p *LCS) Loaded(f trace.FuncID) bool { return p.set.has(f) }
 
 // LoadedCount implements sim.Policy.
 func (p *LCS) LoadedCount() int { return p.set.count }
+
+// TakeLoadDeltas implements sim.LoadDeltaTracker.
+func (p *LCS) TakeLoadDeltas() ([]trace.FuncID, bool) { return p.set.takeDeltas() }

@@ -3,6 +3,7 @@ package classify
 import (
 	"sort"
 
+	"repro/internal/series"
 	"repro/internal/trace"
 )
 
@@ -35,32 +36,37 @@ func Categorize(training *trace.Trace, cfg Config, disableCorrelation, disableFo
 	}
 
 	// Pass 1: deterministic (with forgetting), collecting the leftovers.
-	dense := make([]int, training.Slots) // reusable dense buffer
+	// Activities come straight from the sparse event series — O(events per
+	// function), not O(slots) — so the pass costs nothing for the mostly-idle
+	// long tail of a large population.
 	var indeterminate []trace.FuncID
+	var indetActs []series.Activity // full-window activities, parallel to indeterminate
 	for fid := 0; fid < n; fid++ {
 		s := training.Series[fid]
 		if len(s) == 0 {
 			out.Profiles[fid] = Profile{Type: TypeUnknown}
 			continue
 		}
-		for i := range dense {
-			dense[i] = 0
-		}
-		for _, e := range s {
-			dense[e.Slot] = int(e.Count)
-		}
-		var p Profile
-		var ok bool
-		if disableForgetting {
-			p, ok = CategorizeDeterministic(dense, cfg)
-		} else {
-			p, ok = CategorizeWithForgetting(dense, cfg)
+		// Always-warm resolves straight off the series (definition 1 is
+		// tested on the full window first under both paths), sparing the
+		// heaviest functions — the ones with events in nearly every slot —
+		// the full extraction.
+		p, ok := alwaysWarmFast(s, training.Slots, cfg)
+		var act series.Activity
+		if !ok {
+			act = extractWindow(s, 0, training.Slots)
+			if disableForgetting {
+				p, ok = categorizeActivity(act, cfg)
+			} else {
+				p, ok = categorizeWithForgettingSparse(s, act, cfg)
+			}
 		}
 		if ok {
 			out.Profiles[fid] = p
 			continue
 		}
 		indeterminate = append(indeterminate, trace.FuncID(fid))
+		indetActs = append(indetActs, act)
 	}
 	if len(indeterminate) == 0 {
 		return out
@@ -84,51 +90,237 @@ func Categorize(training *trace.Trace, cfg Config, disableCorrelation, disableFo
 	users := training.UserFunctions()
 	meta := training.Functions
 
-	for _, fid := range indeterminate {
-		s := training.Series[fid]
-		for i := range dense {
-			dense[i] = 0
-		}
-		for _, e := range s {
-			dense[e.Slot] = int(e.Count)
-		}
+	// seen/seenGen deduplicate candidates across a target's app and user peer
+	// lists without a per-target map: a candidate is seen when its stamp
+	// matches the current generation.
+	seen := make([]uint32, n)
+	var seenGen uint32
 
+	for i, fid := range indeterminate {
 		var links []Link
 		var candFires [][]int32
 		if !disableCorrelation {
-			links = mineLinks(fid, invoked, apps[meta[fid].App], users[meta[fid].User], cfg)
+			seenGen++
+			links = mineLinks(fid, invoked, apps[meta[fid].App], users[meta[fid].User], cfg, seen, seenGen)
 			for _, l := range links {
 				candFires = append(candFires, valFires[l.Cand])
 			}
 		}
-		out.Profiles[fid] = AssignIndeterminate(dense, valStart, links, candFires, cfg)
+		out.Profiles[fid] = assignIndeterminateActivity(indetActs[i], valFires[fid],
+			training.Slots-valStart, links, candFires, cfg)
 	}
 	return out
+}
+
+// extractWindow computes the series.Activity of the window [start,
+// start+slots) of a sparse event series, reproducing
+// series.Extract(dense[start:]) bit for bit in O(events in window) time.
+// It relies on the trace.Series invariants: ascending unique slots,
+// positive counts.
+func extractWindow(s trace.Series, start, slots int) series.Activity {
+	a := series.Activity{Slots: slots}
+	i := sort.Search(len(s), func(i int) bool { return int(s[i].Slot) >= start })
+	evs := s[i:]
+	if len(evs) == 0 {
+		a.LeadingIdle = slots
+		return a
+	}
+	runs := 1
+	for k := 1; k < len(evs); k++ {
+		if evs[k].Slot != evs[k-1].Slot+1 {
+			runs++
+		}
+	}
+	// AT, AN and WT share one exactly-sized backing allocation.
+	backing := make([]int, 3*runs-1)
+	a.AT = backing[0:0:runs]
+	a.AN = backing[runs : runs : 2*runs]
+	if runs > 1 {
+		a.WT = backing[2*runs : 2*runs : 3*runs-1]
+	}
+
+	first := int(evs[0].Slot) - start
+	a.LeadingIdle = first
+	runStart := first
+	runSum := 0
+	prev := first - 1 // window-relative slot of the previous event
+	for _, e := range evs {
+		slot := int(e.Slot) - start
+		c := int(e.Count)
+		a.Invocations += c
+		if slot == prev+1 {
+			runSum += c
+		} else {
+			a.AT = append(a.AT, prev-runStart+1)
+			a.AN = append(a.AN, runSum)
+			a.WT = append(a.WT, slot-prev-1)
+			runStart = slot
+			runSum = c
+		}
+		prev = slot
+	}
+	a.AT = append(a.AT, prev-runStart+1)
+	a.AN = append(a.AN, runSum)
+	a.TrailingIdle = slots - prev - 1
+	return a
+}
+
+// seriesExtract is a full-window extraction annotated with per-run metadata
+// so forgetting-suffix activities can be derived without re-scanning the
+// events: a suffix shares the full window's WT/AT/AN tails (zero-copy when
+// the cut lands between runs), and only a run straddling the cut needs its
+// length and invocation sum recomputed.
+type seriesExtract struct {
+	act       series.Activity
+	events    trace.Series
+	runStarts []int32 // absolute first slot of each run
+	runEvIdx  []int32 // index into events of each run's first event
+	prefixInv []int   // prefixInv[r] = total invocations of runs [0, r)
+	slots     int
+}
+
+// alwaysWarmFast evaluates the always-warm definition straight off the
+// sparse series — every event is one active slot, so the active-slot count
+// is len(s) and the summed inter-run idle is the span minus it — returning
+// the profile without materializing an Activity. It is exact: the condition
+// and the resulting profile match categorizeActivity's branch 1.
+func alwaysWarmFast(s trace.Series, slots int, cfg Config) (Profile, bool) {
+	active := len(s)
+	if active == 0 {
+		return Profile{}, false
+	}
+	totalWT := int(s[active-1].Slot-s[0].Slot) + 1 - active
+	if active == slots ||
+		(float64(totalWT) <= cfg.AlwaysWarmIdleFrac*float64(slots) &&
+			float64(active) >= 0.5*float64(slots)) {
+		runs := 1
+		for i := 1; i < active; i++ {
+			if s[i].Slot != s[i-1].Slot+1 {
+				runs++
+			}
+		}
+		return Profile{Type: TypeAlwaysWarm, WTCount: runs - 1}, true
+	}
+	return Profile{}, false
+}
+
+// extractMeta annotates an existing full-window Activity with the run
+// metadata suffix derivation needs.
+func extractMeta(s trace.Series, slots int, act series.Activity) seriesExtract {
+	se := seriesExtract{act: act, events: s, slots: slots}
+	runs := len(se.act.AT)
+	se.runStarts = make([]int32, runs)
+	se.runEvIdx = make([]int32, runs)
+	se.prefixInv = make([]int, runs+1)
+	r := 0
+	for i, e := range s {
+		if i == 0 || e.Slot != s[i-1].Slot+1 {
+			se.runStarts[r] = e.Slot
+			se.runEvIdx[r] = int32(i)
+			se.prefixInv[r+1] = se.prefixInv[r] + se.act.AN[r]
+			r++
+		}
+	}
+	return se
+}
+
+// suffix derives the Activity of the window [start, slots), bit-identical to
+// extractWindow(s, start, slots-start).
+func (se *seriesExtract) suffix(start int) series.Activity {
+	w := se.slots - start
+	runs := len(se.act.AT)
+	// First run ending at or after start.
+	r := sort.Search(runs, func(i int) bool {
+		return int(se.runStarts[i])+se.act.AT[i] > start
+	})
+	if r == runs {
+		return series.Activity{Slots: w, LeadingIdle: w}
+	}
+	a := series.Activity{
+		Slots:        w,
+		TrailingIdle: se.act.TrailingIdle,
+		Invocations:  se.prefixInv[runs] - se.prefixInv[r],
+	}
+	if r+1 < runs {
+		a.WT = se.act.WT[r:]
+	}
+	if int(se.runStarts[r]) >= start {
+		// Clean cut between runs: the tails are shared as-is.
+		a.LeadingIdle = int(se.runStarts[r]) - start
+		a.AT = se.act.AT[r:]
+		a.AN = se.act.AN[r:]
+		return a
+	}
+	// Run r straddles the cut: rebuild its truncated length and count.
+	n := runs - r
+	backing := make([]int, 2*n)
+	a.AT = backing[:n:n]
+	a.AN = backing[n:]
+	copy(a.AT, se.act.AT[r:])
+	copy(a.AN, se.act.AN[r:])
+	runEnd := int(se.runStarts[r]) + se.act.AT[r] // one past the run's last slot
+	a.AT[0] = runEnd - start
+	dropped := 0
+	for i := se.runEvIdx[r]; int(se.events[i].Slot) < start; i++ {
+		dropped += int(se.events[i].Count)
+	}
+	a.AN[0] -= dropped
+	a.Invocations -= dropped
+	return a
+}
+
+// categorizeWithForgettingSparse is CategorizeWithForgetting fed from the
+// sparse event series: the full window is extracted once (O(events)), and
+// each forgetting suffix reuses its run structure instead of re-scanning.
+// The run metadata is only built when the full window fails to categorize,
+// which the majority of functions never reach.
+func categorizeWithForgettingSparse(s trace.Series, act series.Activity, cfg Config) (Profile, bool) {
+	slots := act.Slots
+	if p, ok := categorizeActivity(act, cfg); ok {
+		return p, true
+	}
+	days := slots / cfg.SlotsPerDay
+	if days/2 < 1 {
+		return Profile{}, false
+	}
+	se := extractMeta(s, slots, act)
+	for drop := 1; drop <= days/2; drop++ {
+		if p, ok := categorizeActivity(se.suffix(drop*cfg.SlotsPerDay), cfg); ok {
+			return p, true
+		}
+	}
+	return Profile{}, false
 }
 
 // mineLinks computes T-lagged COR between the target and every candidate
 // sharing its application or user, accepting candidates whose best lagged
 // COR clears the threshold. Links are ordered by descending COR and capped
 // at a small fan-in to bound online work.
-func mineLinks(target trace.FuncID, invoked [][]int32, appPeers, userPeers []trace.FuncID, cfg Config) []Link {
+func mineLinks(target trace.FuncID, invoked [][]int32, appPeers, userPeers []trace.FuncID, cfg Config, seen []uint32, seenGen uint32) []Link {
 	const maxLinks = 5
 	targetSlots := invoked[target]
 	if len(targetSlots) == 0 {
 		return nil
 	}
-	seen := map[trace.FuncID]bool{target: true}
+	seen[target] = seenGen
 	type scored struct {
 		link Link
 		cor  float64
 	}
 	var accepted []scored
 	consider := func(cand trace.FuncID) {
-		if seen[cand] {
+		if seen[cand] == seenGen {
 			return
 		}
-		seen[cand] = true
+		seen[cand] = seenGen
 		candSlots := invoked[cand]
 		if len(candSlots) == 0 {
+			return
+		}
+		// A lag's hit count can't exceed the candidate's invocation count,
+		// so a candidate too quiet relative to the target can never clear
+		// the COR threshold — skip the lag scan.
+		if float64(len(candSlots)) < cfg.CORThreshold*float64(len(targetSlots)) {
 			return
 		}
 		lag, cor := BestLaggedCOR(targetSlots, candSlots, cfg.MaxLag)

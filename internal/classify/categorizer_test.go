@@ -182,7 +182,7 @@ func TestMineLinksCapsAndThreshold(t *testing.T) {
 	invoked[9] = []int32{3, 7, 9}
 	peers = append(peers, 9)
 
-	links := mineLinks(0, invoked, peers, nil, cfg)
+	links := mineLinks(0, invoked, peers, nil, cfg, make([]uint32, len(invoked)), 1)
 	if len(links) != 5 {
 		t.Fatalf("links = %d, want capped at 5", len(links))
 	}
@@ -199,7 +199,59 @@ func TestMineLinksCapsAndThreshold(t *testing.T) {
 func TestMineLinksEmptyTarget(t *testing.T) {
 	cfg := DefaultConfig()
 	invoked := [][]int32{nil, {1, 2, 3}}
-	if links := mineLinks(0, invoked, []trace.FuncID{1}, nil, cfg); links != nil {
+	if links := mineLinks(0, invoked, []trace.FuncID{1}, nil, cfg, make([]uint32, len(invoked)), 1); links != nil {
 		t.Errorf("links for silent target = %v", links)
+	}
+}
+
+// TestAlwaysWarmFastMatchesActivityBranch pins the fast always-warm
+// pre-check to categorizeActivity's branch 1: the two implementations of
+// definition 1 must agree (condition AND resulting profile) on every series
+// shape, or full-window and forgetting-suffix classification silently
+// diverge.
+func TestAlwaysWarmFastMatchesActivityBranch(t *testing.T) {
+	cfg := DefaultConfig()
+	const slots = 4000
+	mk := func(slotIdx ...int32) trace.Series {
+		var evs []trace.Event
+		for _, s := range slotIdx {
+			evs = append(evs, trace.Event{Slot: s, Count: 1})
+		}
+		return evs
+	}
+	every := func(from, to, step int32) []int32 {
+		var out []int32
+		for s := from; s < to; s += step {
+			out = append(out, s)
+		}
+		return out
+	}
+	cases := []trace.Series{
+		mk(every(0, slots, 1)...),                                  // invoked every slot
+		mk(every(1, slots, 1)...),                                  // every slot but the first
+		mk(every(0, slots-1, 1)...),                                // every slot but the last
+		mk(every(0, slots, 2)...),                                  // half the slots, gaps everywhere
+		mk(append(every(0, 2000, 1), every(2003, slots, 1)...)...), // one 3-slot hole
+		mk(append(every(0, 2000, 1), every(2001, slots, 1)...)...), // one 1-slot hole
+		mk(0), mk(slots - 1), mk(100, 101, 102), // sparse flurries
+		mk(every(0, 300, 1)...), // short dense flurry, idle tail
+	}
+	for i, s := range cases {
+		fastP, fastOK := alwaysWarmFast(s, slots, cfg)
+		act := extractWindow(s, 0, slots)
+		refOK := act.Invocations > 0 &&
+			(act.InvokedEverySlot() ||
+				(float64(act.TotalWT()) <= cfg.AlwaysWarmIdleFrac*float64(act.Slots) &&
+					float64(act.ActiveSlots()) >= 0.5*float64(act.Slots)))
+		if fastOK != refOK {
+			t.Errorf("case %d: alwaysWarmFast ok=%v, branch-1 predicate=%v", i, fastOK, refOK)
+			continue
+		}
+		if fastOK {
+			want := Profile{Type: TypeAlwaysWarm, WTCount: len(act.WT)}
+			if fastP.Type != want.Type || fastP.WTCount != want.WTCount {
+				t.Errorf("case %d: alwaysWarmFast profile %+v, want %+v", i, fastP, want)
+			}
+		}
 	}
 }

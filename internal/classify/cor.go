@@ -47,10 +47,38 @@ func LaggedCOR(target, candidate []int32, lag int32) float64 {
 }
 
 // BestLaggedCOR scans lags 1..maxLag and returns the lag with the highest
-// lagged COR along with that COR. With an empty target it returns (0, 0).
+// lagged COR along with that COR (ties go to the smallest lag). With an
+// empty target it returns (0, 0). All lags are counted in one merged pass
+// over the two slot lists rather than one pass per lag: for every target
+// slot t the candidate slots in [t-maxLag, t-1] each contribute a hit to
+// their lag's counter.
 func BestLaggedCOR(target, candidate []int32, maxLag int32) (bestLag int32, bestCOR float64) {
+	if len(target) == 0 || maxLag < 1 {
+		return 0, 0
+	}
+	var hitsBuf [64]int
+	var hits []int
+	if int(maxLag) < len(hitsBuf) {
+		hits = hitsBuf[:maxLag+1]
+	} else {
+		hits = make([]int, maxLag+1)
+	}
+	j := 0
+	for _, t := range target {
+		lo := t - maxLag
+		for j < len(candidate) && candidate[j] < lo {
+			j++
+		}
+		for k := j; k < len(candidate) && candidate[k] < t; k++ {
+			// The range guard keeps malformed (unsorted) inputs from
+			// corrupting counters; sorted inputs always land in 1..maxLag.
+			if d := t - candidate[k]; d >= 1 && d <= maxLag {
+				hits[d]++
+			}
+		}
+	}
 	for lag := int32(1); lag <= maxLag; lag++ {
-		if c := LaggedCOR(target, candidate, lag); c > bestCOR {
+		if c := float64(hits[lag]) / float64(len(target)); c > bestCOR {
 			bestCOR = c
 			bestLag = lag
 		}

@@ -1,6 +1,8 @@
 package classify
 
 import (
+	"sort"
+
 	"repro/internal/series"
 	"repro/internal/stats"
 )
@@ -162,22 +164,34 @@ type Link struct {
 	Lag  int32
 }
 
-// categorizeWTs tests the WT-statistics definitions (regular,
-// appro-regular, dense) against one WT sequence variant. It returns the
-// matched profile and true, or false when no definition matches.
-func categorizeWTs(wts []int, cfg Config) (Profile, bool) {
+// categorizeWTs tests the regular definition against one WT sequence
+// variant with a pre-sorted copy of it, avoiding the per-quantile float
+// conversion and sort. sorted must hold the same values as wts in ascending
+// order; the float statistics (CV, StdDev) still run over wts in original
+// order so their summation rounding matches the reference formulas exactly.
+func categorizeWTs(wts, sorted []int, cfg Config) (Profile, bool) {
 	if len(wts) < cfg.MinWTs {
 		return Profile{}, false
 	}
-	fwts := stats.IntsToFloats(wts)
 
 	// Regular: P95 - P5 <= spread, or CV ~ 0.
-	qs := stats.Quantiles(fwts, 0.05, 0.95)
-	if qs[1]-qs[0] <= cfg.RegularSpread || stats.CoefficientOfVariation(fwts) <= cfg.RegularCV {
+	p5 := stats.QuantileSortedInts(sorted, 0.05)
+	p95 := stats.QuantileSortedInts(sorted, 0.95)
+	var fwts []float64
+	isRegular := p95-p5 <= cfg.RegularSpread
+	if !isRegular {
+		fwts = stats.IntsToFloats(wts)
+		isRegular = stats.CoefficientOfVariation(fwts) <= cfg.RegularCV
+	}
+	if isRegular {
+		if fwts == nil {
+			fwts = stats.IntsToFloats(wts)
+		}
+		median := stats.MedianSortedInts(sorted)
 		return Profile{
 			Type:     TypeRegular,
-			Values:   []int{int(stats.Median(fwts) + 0.5)},
-			MedianWT: stats.Median(fwts),
+			Values:   []int{int(median + 0.5)},
+			MedianWT: median,
 			StdWT:    stats.StdDev(fwts),
 			WTCount:  len(wts),
 		}, true
@@ -185,12 +199,36 @@ func categorizeWTs(wts []int, cfg Config) (Profile, bool) {
 	return Profile{}, false
 }
 
+// sortedCopy returns xs sorted ascending without mutating it.
+func sortedCopy(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}
+
+// removeTwoSorted returns sorted minus one occurrence each of a and b
+// (which must both be present), preserving order.
+func removeTwoSorted(sorted []int, a, b int) []int {
+	out := make([]int, 0, len(sorted)-1)
+	ia := sort.SearchInts(sorted, a)
+	out = append(out, sorted[:ia]...)
+	out = append(out, sorted[ia+1:]...)
+	ib := sort.SearchInts(out, b)
+	return append(out[:ib], out[ib+1:]...)
+}
+
 // CategorizeDeterministic applies the five deterministic definitions of
 // Section IV-A in priority order to a dense invocation sequence. ok is
 // false when none match.
 func CategorizeDeterministic(counts []int, cfg Config) (Profile, bool) {
-	act := series.Extract(counts)
+	return categorizeActivity(series.Extract(counts), cfg)
+}
 
+// categorizeActivity is CategorizeDeterministic over a pre-extracted
+// Activity, letting the offline phase feed it from sparse event series
+// without materializing dense per-slot vectors.
+func categorizeActivity(act series.Activity, cfg Config) (Profile, bool) {
 	// 1. Always warm: invoked at every slot, or total inter-invocation idle
 	// at or below one-thousandth of the window. The paper's literal
 	// condition (2) would also admit a function invoked in one short dense
@@ -206,28 +244,67 @@ func CategorizeDeterministic(counts []int, cfg Config) (Profile, bool) {
 
 	// Table I marks both the regular and appro-regular conditions as tested
 	// on "(Processed)" WTs, so both run over the slack cascade: raw WTs,
-	// end-trimmed WTs, merged WTs.
-	variants := series.SlackVariants(act.WT, cfg.SlackCloseTol, cfg.SlackSmallFrac)
+	// end-trimmed WTs, merged WTs (series.SlackVariants, built inline here
+	// so each variant is sorted exactly once — the trimmed variant's sorted
+	// copy drops two values from the raw one, and the merge rule's reference
+	// mode comes from a run-length scan of the sorted base). The quantile
+	// reads below reproduce the float-sorting reference bit for bit (see
+	// stats.QuantileSortedInts).
+	wts := act.WT
+	var variants, sortedVariants [3][]int
+	nv := 0
+	if len(wts) > 0 {
+		variants[0] = wts
+		sortedVariants[0] = sortedCopy(wts)
+		nv = 1
+	}
+	if len(wts) > 2 {
+		variants[1] = wts[1 : len(wts)-1]
+		sortedVariants[1] = removeTwoSorted(sortedVariants[0], wts[0], wts[len(wts)-1])
+		nv = 2
+	}
+	if nv > 0 {
+		base, sortedBase := variants[nv-1], sortedVariants[nv-1]
+		mode := series.MergeReferenceModeSorted(sortedBase)
+		merged := series.MergeSmallWTsWithMode(base, mode, cfg.SlackCloseTol, cfg.SlackSmallFrac)
+		if len(merged) > 0 && len(merged) != len(base) {
+			variants[nv] = merged
+			sortedVariants[nv] = sortedCopy(merged)
+			nv++
+		}
+	}
 
 	// 2. Regular.
-	for _, variant := range variants {
-		if p, ok := categorizeWTs(variant, cfg); ok {
+	for i, variant := range variants[:nv] {
+		if p, ok := categorizeWTs(variant, sortedVariants[i], cfg); ok {
 			return p, true
 		}
 	}
 
 	// 3. Appro-regular: top-n WT modes cover >= 90% of the sequence.
-	for _, variant := range variants {
+	for i, variant := range variants[:nv] {
 		if len(variant) < cfg.ApproMinWTs {
 			continue
 		}
-		cov := stats.ModesCoverage(variant, cfg.ApproModes)
+		table := stats.FrequencyTableSorted(sortedVariants[i])
+		n := cfg.ApproModes
+		if n > len(table) {
+			n = len(table)
+		}
+		cov := 0
+		for _, mc := range table[:n] {
+			cov += mc.Count
+		}
 		if float64(cov) >= cfg.ApproCoverage*float64(len(variant)) {
+			modes := make([]int, 0, n)
+			for _, mc := range table[:n] {
+				modes = append(modes, mc.Value)
+			}
 			fw := stats.IntsToFloats(variant)
 			return Profile{
 				Type:     TypeApproRegular,
-				Values:   stats.Modes(variant, cfg.ApproModes),
-				MedianWT: stats.Median(fw),
+				Values:   modes,
+				MedianWT: stats.MedianSortedInts(sortedVariants[i]),
 				StdWT:    stats.StdDev(fw),
 				WTCount:  len(variant),
 			}, true
@@ -236,14 +313,16 @@ func CategorizeDeterministic(counts []int, cfg Config) (Profile, bool) {
 
 	// 4. Dense: P90(WT) <= small constant, tested on the raw sequence.
 	if len(act.WT) >= cfg.DenseMinWTs {
-		fw := stats.IntsToFloats(act.WT)
-		if stats.Quantile(fw, 0.9) <= cfg.DenseP90Max {
+		// variants[0] is the raw WT sequence whenever it is non-empty.
+		sorted := sortedVariants[0]
+		if stats.QuantileSortedInts(sorted, 0.9) <= cfg.DenseP90Max {
 			lo, hi, _ := stats.ModeRange(act.WT, cfg.DenseModes)
+			fw := stats.IntsToFloats(act.WT)
 			return Profile{
 				Type:     TypeDense,
 				RangeLo:  lo,
 				RangeHi:  hi,
-				MedianWT: stats.Median(fw),
+				MedianWT: stats.MedianSortedInts(sorted),
 				StdWT:    stats.StdDev(fw),
 				WTCount:  len(act.WT),
 			}, true

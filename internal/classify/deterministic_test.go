@@ -47,7 +47,7 @@ func TestTypeStringAndKind(t *testing.T) {
 	if TypeAlwaysWarm.Kind() != PredictNone || TypeUnknown.Kind() != PredictNone {
 		t.Error("always-warm/unknown should not predict")
 	}
-	if len(Types()) != int(numTypes) {
+	if len(Types()) != int(NumTypes) {
 		t.Error("Types() arity")
 	}
 }

@@ -257,14 +257,21 @@ func riseRate(worse, best int) float64 {
 // validation-window invoked slots of each linked candidate.
 func AssignIndeterminate(counts []int, valStart int, links []Link, candFires [][]int32, cfg Config) Profile {
 	act := series.Extract(counts)
-	possibleValues := stats.RepeatedValues(act.WT)
 
 	// Validation-window invoked slots of the target.
 	var valInvoked []int32
 	for _, s := range series.InvokedSlots(counts[valStart:]) {
 		valInvoked = append(valInvoked, int32(s))
 	}
-	valSlots := len(counts) - valStart
+	return assignIndeterminateActivity(act, valInvoked, len(counts)-valStart, links, candFires, cfg)
+}
+
+// assignIndeterminateActivity is AssignIndeterminate over pre-extracted
+// inputs: the function's full-window Activity and its validation-window
+// invoked slots (rebased to the validation start), letting the offline phase
+// skip the dense per-slot expansion entirely.
+func assignIndeterminateActivity(act series.Activity, valInvoked []int32, valSlots int, links []Link, candFires [][]int32, cfg Config) Profile {
+	possibleValues := stats.RepeatedValues(act.WT)
 
 	if len(valInvoked) == 0 {
 		// Never invoked during validation: no basis for scoring. Fall back

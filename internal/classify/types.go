@@ -23,7 +23,9 @@ const (
 	TypeCorrelated
 	TypePossible
 	TypeNewlyPossible // unknown/unseen functions categorized online (§IV-C)
-	numTypes
+	// NumTypes is the number of categories; dense per-type tables index by
+	// Type below it.
+	NumTypes
 )
 
 var typeNames = [...]string{
@@ -49,7 +51,7 @@ func (t Type) String() string {
 
 // Types lists all categories in display order.
 func Types() []Type {
-	out := make([]Type, numTypes)
+	out := make([]Type, NumTypes)
 	for i := range out {
 		out[i] = Type(i)
 	}

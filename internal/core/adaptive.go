@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/classify"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -17,15 +19,24 @@ func (s *SPES) recordOnlineWT(fid trace.FuncID, st *funcState, wt int) {
 	if s.cfg.DisableAdjusting {
 		return
 	}
-	st.onlineWTs = append(st.onlineWTs, wt)
-	if len(st.onlineWTs) > maxOnlineWTs {
-		drop := len(st.onlineWTs) - maxOnlineWTs
-		st.onlineWTs = st.onlineWTs[drop:]
-		st.adjustedAt -= drop
-		if st.adjustedAt < 0 {
-			st.adjustedAt = 0
+	if len(st.onlineWTs) < maxOnlineWTs {
+		if st.onlineWTs == nil {
+			st.onlineWTs = make([]int, 0, maxOnlineWTs)
+		}
+		st.onlineWTs = append(st.onlineWTs, wt)
+	} else {
+		// Ring overwrite: drop the oldest sample in place.
+		st.histRemove(st.onlineWTs[st.wtHead])
+		st.onlineWTs[st.wtHead] = wt
+		st.wtHead++
+		if int(st.wtHead) == maxOnlineWTs {
+			st.wtHead = 0
+		}
+		if st.adjustedAt > 0 {
+			st.adjustedAt--
 		}
 	}
+	st.histAdd(wt)
 	if len(st.onlineWTs)-st.adjustedAt < s.cfg.AdjustMinWTs {
 		return
 	}
@@ -40,12 +51,112 @@ func (s *SPES) recordOnlineWT(fid trace.FuncID, st *funcState, wt int) {
 	}
 }
 
+// chronoWTs returns st's online WTs oldest-first. While the ring has not
+// wrapped the storage is already chronological; afterwards the two halves
+// are unrolled into the policy's scratch buffer (valid until the next
+// call). The adaptive float statistics (StdDev and friends) must see the
+// samples in arrival order so their summation rounding matches the
+// reference implementation exactly.
+func (s *SPES) chronoWTs(st *funcState) []int {
+	if st.wtHead == 0 {
+		return st.onlineWTs
+	}
+	buf := append(s.wtScratch[:0], st.onlineWTs[st.wtHead:]...)
+	return append(buf, st.onlineWTs[:st.wtHead]...)
+}
+
+// The online-WT histogram: recordOnlineWT sits on Tick's per-invocation hot
+// path, so the multiset of the last maxOnlineWTs waiting times is kept as a
+// bounded counting histogram (O(1) add/remove) with per-block sums so the
+// order statistics the adjustment step needs are a short two-level scan —
+// no sorting anywhere near the hot path. Values past the histogram range
+// (long idle gaps) spill into a small sorted overflow slice.
+const (
+	wtHistSize  = 512
+	wtHistBlock = 16
+)
+
+// histAdd counts one waiting time into the function's online-WT multiset.
+func (st *funcState) histAdd(v int) {
+	if st.wtHist == nil {
+		st.wtHist = make([]uint16, wtHistSize)
+		st.wtBlock = make([]uint16, wtHistSize/wtHistBlock)
+	}
+	if v < wtHistSize {
+		if st.wtHist[v] == 0 {
+			st.wtDistinct++
+		}
+		st.wtHist[v]++
+		st.wtBlock[v/wtHistBlock]++
+		return
+	}
+	i := sort.SearchInts(st.wtOver, v)
+	if i >= len(st.wtOver) || st.wtOver[i] != v {
+		st.wtDistinct++
+	}
+	st.wtOver = append(st.wtOver, 0)
+	copy(st.wtOver[i+1:], st.wtOver[i:])
+	st.wtOver[i] = v
+}
+
+// histRemove removes one occurrence of v (which must be present).
+func (st *funcState) histRemove(v int) {
+	if v < wtHistSize {
+		st.wtHist[v]--
+		st.wtBlock[v/wtHistBlock]--
+		if st.wtHist[v] == 0 {
+			st.wtDistinct--
+		}
+		return
+	}
+	i := sort.SearchInts(st.wtOver, v)
+	st.wtOver = append(st.wtOver[:i], st.wtOver[i+1:]...)
+	if j := sort.SearchInts(st.wtOver, v); j >= len(st.wtOver) || st.wtOver[j] != v {
+		st.wtDistinct--
+	}
+}
+
+// kthOnline returns the k-th smallest (0-based) of the online-WT multiset.
+func (st *funcState) kthOnline(k int) int {
+	cum := 0
+	for b := range st.wtBlock {
+		bc := int(st.wtBlock[b])
+		if cum+bc > k {
+			for v := b * wtHistBlock; ; v++ {
+				cum += int(st.wtHist[v])
+				if cum > k {
+					return v
+				}
+			}
+		}
+		cum += bc
+	}
+	return st.wtOver[k-cum]
+}
+
+// medianOnline reproduces stats.Median(stats.IntsToFloats(st.onlineWTs)) bit
+// for bit from the histogram (the same order statistics feed the same
+// float64 interpolation).
+func (st *funcState) medianOnline() float64 {
+	n := len(st.onlineWTs)
+	if n == 0 {
+		return 0
+	}
+	pos := 0.5 * float64(n-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= n {
+		return float64(st.kthOnline(lo))
+	}
+	frac := pos - float64(lo)
+	return float64(st.kthOnline(lo))*(1-frac) + float64(st.kthOnline(hi))*frac
+}
+
 // adjustPredictiveValues implements S2: if the online WT statistics moved
 // significantly (|new median - old median| > old std), blend the predictive
 // values toward the online behaviour with the mean of old and new.
 func (s *SPES) adjustPredictiveValues(st *funcState) {
-	online := stats.IntsToFloats(st.onlineWTs)
-	newMedian := stats.Median(online)
+	newMedian := st.medianOnline()
 	shift := newMedian - st.profile.MedianWT
 	if shift < 0 {
 		shift = -shift
@@ -60,6 +171,7 @@ func (s *SPES) adjustPredictiveValues(st *funcState) {
 	if shift <= tol {
 		return
 	}
+	online := stats.IntsToFloats(s.chronoWTs(st))
 
 	blend := func(old int) int {
 		return int((float64(old) + newMedian) / 2)
@@ -102,11 +214,14 @@ func (s *SPES) adjustPredictiveValues(st *funcState) {
 // paper reports for its two-day simulation; longer horizons could promote
 // into any deterministic type).
 func (s *SPES) promoteUnknown(st *funcState) {
-	repeated := stats.RepeatedValues(st.onlineWTs)
-	if len(repeated) == 0 {
+	// The histogram answers "any duplicate?" in O(1) (fewer distinct values
+	// than samples), keeping the frequency-table build off the hot path for
+	// erratic functions.
+	if int(st.wtDistinct) >= len(st.onlineWTs) {
 		return
 	}
-	online := stats.IntsToFloats(st.onlineWTs)
+	repeated := stats.RepeatedValues(st.onlineWTs)
+	online := stats.IntsToFloats(s.chronoWTs(st))
 	st.profile = classify.Profile{
 		Type:     classify.TypeNewlyPossible,
 		Values:   repeated,

@@ -27,10 +27,14 @@ type utarget struct {
 
 // onlineCorr manages all unseen functions' candidate sets.
 type onlineCorr struct {
-	cfg     Config
-	targets map[trace.FuncID]*utarget
-	// byCandidate maps a candidate to the targets listening to it.
-	byCandidate map[trace.FuncID][]*utarget
+	cfg Config
+	// targets holds each unseen function's correlation state, densely
+	// indexed by FuncID (nil for functions that are not targets); this
+	// lookup sits in Tick's per-invocation loop, so no map.
+	targets []*utarget
+	// byCandidate lists the targets listening to each candidate, densely
+	// indexed by FuncID.
+	byCandidate [][]*utarget
 	// lastFired tracks every function's most recent invocation slot, the
 	// signal both hit counting and pre-loading read. -1 means never.
 	lastFired []int
@@ -47,8 +51,8 @@ func newOnlineCorr(meta []trace.Function, cfg Config) *onlineCorr {
 	}
 	return &onlineCorr{
 		cfg:         cfg,
-		targets:     make(map[trace.FuncID]*utarget),
-		byCandidate: make(map[trace.FuncID][]*utarget),
+		targets:     make([]*utarget, len(meta)),
+		byCandidate: make([][]*utarget, len(meta)),
 		lastFired:   lastFired,
 		meta:        meta,
 	}
@@ -184,12 +188,7 @@ func (u *onlineCorr) observe(t int, invs []trace.FuncCount, s *SPES) {
 			if !u.active(tgt, cand) {
 				continue
 			}
-			st := &s.states[tgt.fid]
-			until := t + maxLag
-			if until > st.preloadUntil {
-				st.preloadUntil = until
-			}
-			s.load(st)
+			s.preloadThrough(tgt.fid, t, t+maxLag)
 		}
 	}
 }

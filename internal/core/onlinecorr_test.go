@@ -15,7 +15,12 @@ func corrFixture(t *testing.T) *SPES {
 	tr.AddFunction("cand0", "app", "u", trace.TriggerQueue, events)
 	tr.AddFunction("cand1", "app", "u", trace.TriggerQueue, events)
 	tr.AddFunction("unseen", "app", "u", trace.TriggerQueue, nil)
-	s := New(DefaultConfig())
+	cfg := DefaultConfig()
+	// These tests exercise online correlation in isolation and drive Tick
+	// with slot gaps; disable the adjusting strategy so the target cannot be
+	// promoted to newly-possible mid-test and start predictive pre-warming.
+	cfg.DisableAdjusting = true
+	s := New(cfg)
 	s.Train(tr)
 	if s.ucorr == nil {
 		t.Fatal("online correlation not armed")

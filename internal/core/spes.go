@@ -10,12 +10,16 @@ import (
 // adjusting strategy; older samples age out FIFO.
 const maxOnlineWTs = 64
 
+// wheelSpan is the timing-wheel ring horizon in slots; deadlines further out
+// (rare: long regular periods) go to the overflow map.
+const wheelSpan = 2048
+
 // funcState is the FState record of Algorithm 1 for one function.
 type funcState struct {
 	profile classify.Profile
 
 	lastInvoked int  // slot of the most recent invocation (sim timeline; may be negative from training)
-	currentWT   int  // idle slots since the last invocation
+	currentWT   int  // idle slots since the last invocation (maintained by the dense reference loop only)
 	loaded      bool // in MemSet
 	everTrained bool // invoked at least once in the training window
 
@@ -24,11 +28,41 @@ type funcState struct {
 	// keeps the function warm; -1 when inactive.
 	preloadUntil int
 
-	// onlineWTs are waiting times observed during simulation (S1 of the
-	// adjusting strategy); adjustedAt counts how many had been consumed by
-	// the last adjustment so each batch triggers at most one update.
+	// wtOff corrects the lazy waiting-time formula wt(t) = t - lastInvoked +
+	// wtOff used by the event-driven loop: 1 while the function has never
+	// been invoked (training included), 0 afterwards. The dense loop's
+	// incremental currentWT encodes the same off-by-one implicitly.
+	wtOff int32
+
+	// seq is the event-queue generation: a wheel event fires only if its
+	// recorded seq still matches, so a deadline that moved earlier is
+	// abandoned in place instead of searched for in the wheel.
+	seq uint32
+
+	// eventSlot is the slot of the function's single outstanding wheel
+	// event, or -1 when none is pending. The scheduling invariant is that
+	// eventSlot never exceeds the function's true next transition slot:
+	// an event may fire early (the idle step re-evaluates the exact dense
+	// predicate, so early fires are no-ops that reschedule), never late.
+	eventSlot int32
+
+	// onlineWTs are the last maxOnlineWTs waiting times observed during
+	// simulation (S1 of the adjusting strategy), stored as a ring once full:
+	// wtHead indexes the oldest sample (0 until the ring wraps), so the
+	// steady-state path overwrites in place with no copying. adjustedAt
+	// counts how many samples had been consumed by the last adjustment so
+	// each batch triggers at most one update. wtHist/wtBlock/wtOver/
+	// wtDistinct mirror the same multiset as a counting histogram (see
+	// adaptive.go) so the adjustment check reads order statistics without
+	// sorting on the Tick hot path.
 	onlineWTs  []int
+	wtHead     int32
 	adjustedAt int
+
+	wtHist     []uint16 // counts of WT values < wtHistSize (lazily allocated)
+	wtBlock    []uint16 // per-wtHistBlock sums over wtHist
+	wtOver     []int    // ascending multiset of WT values >= wtHistSize
+	wtDistinct int32    // distinct values currently in the multiset
 }
 
 // listener is the reverse edge of a correlated link: when the candidate
@@ -38,8 +72,8 @@ type listener struct {
 	lag    int32
 }
 
-// SPES is the differentiated provision policy. It implements sim.Policy and
-// sim.TypeTagger.
+// SPES is the differentiated provision policy. It implements sim.Policy,
+// sim.TypeTagger and sim.LoadDeltaTracker.
 type SPES struct {
 	cfg  Config
 	pred *predict.Predictor
@@ -48,10 +82,33 @@ type SPES struct {
 	states []funcState
 
 	// listeners maps a candidate function to the correlated targets it
-	// pre-loads (offline links, reversed).
-	listeners map[trace.FuncID][]listener
+	// pre-loads (offline links, reversed), densely indexed by FuncID.
+	listeners [][]listener
 
 	ucorr *onlineCorr
+
+	// wheel holds every idle function's next actionable deadline (eviction,
+	// pre-load expiry, predicted pre-warm). nil when cfg.DenseScan selects
+	// the per-slot reference loop.
+	wheel *wheel
+
+	// deltas logs the FuncIDs whose loaded state flipped since the last
+	// TakeLoadDeltas, feeding the simulator's incremental accounting.
+	deltas []trace.FuncID
+
+	// lastTick is the most recent slot the event engine processed; skipped
+	// slots (callers driving Tick with gaps) have their deadlines drained in
+	// order before the current slot is handled.
+	lastTick int
+
+	// wtScratch is the reusable buffer chronoWTs unrolls a wrapped online-WT
+	// ring into (Tick is single-threaded per policy).
+	wtScratch [maxOnlineWTs]int
+
+	// thetaGivenupByType caches cfg.Classify.ThetaGivenup per category:
+	// the lookup sits inside evictionFloor on the Tick hot path, and calling
+	// the Config method there would copy the whole struct every time.
+	thetaGivenupByType [classify.NumTypes]int
 
 	loadedCount int
 	trainSlots  int
@@ -77,7 +134,10 @@ func (s *SPES) Train(training *trace.Trace) {
 	s.meta = training.Functions
 	s.trainSlots = training.Slots
 	s.states = make([]funcState, n)
-	s.listeners = make(map[trace.FuncID][]listener)
+	s.listeners = make([][]listener, n)
+	for typ := classify.Type(0); typ < classify.NumTypes; typ++ {
+		s.thetaGivenupByType[typ] = s.cfg.Classify.ThetaGivenup(typ)
+	}
 
 	outcome := classify.Categorize(training, s.cfg.Classify,
 		s.cfg.DisableCorrelation, s.cfg.DisableForgetting)
@@ -86,6 +146,7 @@ func (s *SPES) Train(training *trace.Trace) {
 		st := &s.states[fid]
 		st.profile = outcome.Profiles[fid]
 		st.preloadUntil = -1
+		st.eventSlot = -1
 		last := training.Series[fid].LastSlot()
 		if last >= 0 {
 			st.everTrained = true
@@ -97,6 +158,7 @@ func (s *SPES) Train(training *trace.Trace) {
 		} else {
 			st.lastInvoked = -training.Slots
 			st.currentWT = training.Slots
+			st.wtOff = 1
 		}
 		for _, l := range st.profile.Links {
 			cand := trace.FuncID(l.Cand)
@@ -112,7 +174,7 @@ func (s *SPES) Train(training *trace.Trace) {
 			(st.profile.Type == classify.TypeAlwaysWarm ||
 				st.currentWT < s.thetaGivenup(st.profile.Type) ||
 				s.shouldPreload(trace.FuncID(fid), st, 0)) {
-			s.load(st)
+			s.load(trace.FuncID(fid), st)
 		}
 	}
 
@@ -124,6 +186,14 @@ func (s *SPES) Train(training *trace.Trace) {
 			}
 		}
 	}
+
+	if !s.cfg.DenseScan {
+		s.wheel = newWheel(wheelSpan)
+		s.lastTick = -1
+		for fid := range s.states {
+			s.ensureWake(trace.FuncID(fid), &s.states[fid], -1)
+		}
+	}
 }
 
 // Loaded implements sim.Policy.
@@ -132,6 +202,14 @@ func (s *SPES) Loaded(f trace.FuncID) bool { return s.states[f].loaded }
 // LoadedCount implements sim.Policy.
 func (s *SPES) LoadedCount() int { return s.loadedCount }
 
+// TakeLoadDeltas implements sim.LoadDeltaTracker: every function whose
+// loaded state flipped since the previous call, valid until the next Tick.
+func (s *SPES) TakeLoadDeltas() ([]trace.FuncID, bool) {
+	d := s.deltas
+	s.deltas = s.deltas[:0]
+	return d, true
+}
+
 // TypeOf implements sim.TypeTagger.
 func (s *SPES) TypeOf(f trace.FuncID) string { return s.states[f].profile.Type.String() }
 
@@ -139,23 +217,77 @@ func (s *SPES) TypeOf(f trace.FuncID) string { return s.states[f].profile.Type.S
 // experiment reports read it).
 func (s *SPES) Profile(f trace.FuncID) classify.Profile { return s.states[f].profile }
 
-// load and unload keep loadedCount in sync.
-func (s *SPES) load(st *funcState) {
+// load and unload keep loadedCount and the delta log in sync.
+func (s *SPES) load(fid trace.FuncID, st *funcState) {
 	if !st.loaded {
 		st.loaded = true
 		s.loadedCount++
+		s.deltas = append(s.deltas, fid)
 	}
 }
 
-func (s *SPES) unload(st *funcState) {
+func (s *SPES) unload(fid trace.FuncID, st *funcState) {
 	if st.loaded {
 		st.loaded = false
 		s.loadedCount--
+		s.deltas = append(s.deltas, fid)
 	}
 }
 
-// Tick implements Algorithm 1 for one slot.
+// Tick implements Algorithm 1 for one slot. The default engine is
+// event-driven: it touches only the slot's invoked functions plus the
+// functions whose scheduled deadline is t. cfg.DenseScan selects the
+// per-slot reference scan instead (same results, O(n) per slot).
 func (s *SPES) Tick(t int, invs []trace.FuncCount) {
+	if s.wheel == nil {
+		s.tickDense(t, invs)
+		return
+	}
+
+	// Callers are contracted to advance t by exactly 1, but tolerate gaps
+	// (ad-hoc unit drivers) by draining the skipped slots' deadlines in
+	// order, so evictions land on their scheduled slot rather than waiting
+	// for the next call.
+	for u := s.lastTick + 1; u < t; u++ {
+		s.drainSlot(u)
+	}
+	s.lastTick = t
+
+	// Lines 3-12 for the invoked functions: record the finished WT (the
+	// dense loop's currentWT is t - lastInvoked - 1 here), reset, adapt,
+	// load, and invalidate any pending deadline.
+	for _, fc := range invs {
+		st := &s.states[fc.Func]
+		if wt := t - st.lastInvoked - 1; wt > 0 && st.lastInvoked > -s.trainSlots {
+			s.recordOnlineWT(fc.Func, st, wt)
+		}
+		st.lastInvoked = t
+		st.wtOff = 0
+		st.preloadUntil = -1
+		s.load(fc.Func, st)
+		s.ensureWake(fc.Func, st, t)
+	}
+
+	// Lines 13-20 for the functions whose deadline is t: the idle step is
+	// evaluated exactly as the dense loop would, so a stale-but-valid
+	// wake-up is at worst a no-op.
+	s.drainSlot(t)
+
+	// Indicator-driven pre-loading: offline correlated links and online
+	// correlation for unseen functions (line 22, UCorr.update()).
+	for _, fc := range invs {
+		for _, l := range s.listeners[fc.Func] {
+			s.preloadThrough(l.target, t, t+int(l.lag)+s.cfg.Classify.ThetaPrewarm)
+		}
+	}
+	if s.ucorr != nil {
+		s.ucorr.observe(t, invs, s)
+	}
+}
+
+// tickDense is the retained O(n)-per-slot reference implementation the
+// equivalence tests run the event-driven engine against.
+func (s *SPES) tickDense(t int, invs []trace.FuncCount) {
 	// Mark this slot's arrivals for O(1) membership while scanning all
 	// functions. invs is FuncID-ascending, so walk it in lockstep instead
 	// of building a set.
@@ -175,8 +307,9 @@ func (s *SPES) Tick(t int, invs []trace.FuncCount) {
 			}
 			st.lastInvoked = t
 			st.currentWT = 0
+			st.wtOff = 0
 			st.preloadUntil = -1
-			s.load(st)
+			s.load(trace.FuncID(fid), st)
 			continue
 		}
 
@@ -184,9 +317,9 @@ func (s *SPES) Tick(t int, invs []trace.FuncCount) {
 		st.currentWT++
 		preload := s.shouldPreload(trace.FuncID(fid), st, t)
 		if preload {
-			s.load(st)
+			s.load(trace.FuncID(fid), st)
 		} else if st.loaded && st.currentWT >= s.thetaGivenup(st.profile.Type) {
-			s.unload(st)
+			s.unload(trace.FuncID(fid), st)
 		}
 	}
 
@@ -194,17 +327,187 @@ func (s *SPES) Tick(t int, invs []trace.FuncCount) {
 	// correlation for unseen functions (line 22, UCorr.update()).
 	for _, fc := range invs {
 		for _, l := range s.listeners[fc.Func] {
-			target := &s.states[l.target]
-			until := t + int(l.lag) + s.cfg.Classify.ThetaPrewarm
-			if until > target.preloadUntil {
-				target.preloadUntil = until
-			}
-			s.load(target)
+			s.preloadThrough(l.target, t, t+int(l.lag)+s.cfg.Classify.ThetaPrewarm)
 		}
 	}
 	if s.ucorr != nil {
 		s.ucorr.observe(t, invs, s)
 	}
+}
+
+// drainSlot fires the still-valid deadlines scheduled at slot t.
+func (s *SPES) drainSlot(t int) {
+	s.wheel.drain(t, func(ev wheelEvent) {
+		st := &s.states[ev.fid]
+		if st.seq != ev.seq {
+			return // abandoned: the deadline moved earlier and was rescheduled
+		}
+		st.eventSlot = -1
+		s.idleStep(trace.FuncID(ev.fid), st, t)
+	})
+}
+
+// idleStep evaluates the dense loop's per-slot idle branch (lines 13-20) for
+// one function at slot t, then schedules its next wake-up. For predictive
+// types the pre-load decision and the next deadline come out of a single
+// window enumeration (PrewarmWindowScan) instead of separate ShouldPrewarm /
+// NextPrewarmOn / NextPrewarmOff passes — this path runs once per active
+// function per slot and dominates the drain cost.
+func (s *SPES) idleStep(fid trace.FuncID, st *funcState, t int) {
+	switch st.profile.Type {
+	case classify.TypeRegular, classify.TypeApproRegular, classify.TypeDense,
+		classify.TypePossible, classify.TypeNewlyPossible:
+		theta := s.cfg.Classify.ThetaPrewarm
+		off, on := s.pred.PrewarmWindowScan(&st.profile, st.lastInvoked, t, theta)
+		covered := off > t // ShouldPrewarm(t)
+		if covered || t <= st.preloadUntil {
+			s.load(fid, st)
+		} else if st.loaded && t-st.lastInvoked+int(st.wtOff) >= s.thetaGivenup(st.profile.Type) {
+			s.unload(fid, st)
+		}
+		var next int
+		if st.loaded {
+			floor := s.evictionFloor(st, t)
+			switch {
+			case floor != t+1:
+				next = floor
+			case covered:
+				// While t is covered, off is also the first uncovered slot
+				// at or past the floor: NextPrewarmOff(t+1) == off.
+				next = off
+			case on == t+1:
+				// A window opening right at the floor keeps the function
+				// warm; chase its end (rare).
+				next = s.pred.NextPrewarmOff(&st.profile, st.lastInvoked, t+1, theta)
+			default:
+				next = floor
+			}
+		} else {
+			next = on // NextPrewarmOn(t+1)
+		}
+		s.scheduleWake(fid, st, t, next)
+	default:
+		if s.shouldPreload(fid, st, t) {
+			s.load(fid, st)
+		} else if st.loaded && t-st.lastInvoked+int(st.wtOff) >= s.thetaGivenup(st.profile.Type) {
+			s.unload(fid, st)
+		}
+		s.ensureWake(fid, st, t)
+	}
+}
+
+// preloadThrough extends a function's indicator-driven pre-load window
+// through the until slot (inclusive) and loads it, rescheduling its deadline
+// under the event-driven engine. Both engines and the online-correlation
+// strategy funnel through here.
+func (s *SPES) preloadThrough(fid trace.FuncID, t, until int) {
+	st := &s.states[fid]
+	if until > st.preloadUntil {
+		st.preloadUntil = until
+	}
+	s.load(fid, st)
+	if s.wheel != nil {
+		s.ensureWake(fid, st, t)
+	}
+}
+
+// ensureWake makes sure fid's single outstanding wheel event fires no later
+// than its next possible state transition after slot t (t is -1 at train
+// time). A pending event at or before the target slot is kept — it fires
+// early, re-evaluates the exact idle-step predicate, and reschedules — so
+// the hot path (an invocation extending a resident function's deadline)
+// costs no wheel operations at all. Only a deadline that moved earlier
+// abandons the pending event (seq bump) and schedules anew.
+func (s *SPES) ensureWake(fid trace.FuncID, st *funcState, t int) {
+	// Fast path: the next transition can never be earlier than t+1, so a
+	// pending event at or before t+1 already satisfies the never-late
+	// invariant — skip the deadline math entirely. This is the common case
+	// for busy functions, whose eviction floor sits one slot ahead of every
+	// invocation.
+	if st.eventSlot >= 0 && int(st.eventSlot) <= t+1 {
+		return
+	}
+	// Inlined nextWake with one extra short-circuit: for loaded functions
+	// every candidate deadline is at or past the eviction floor, so a
+	// pending event at or before the floor (cheap to compute — no window
+	// enumeration) is always kept, sparing the predictor scan.
+	switch st.profile.Type {
+	case classify.TypeAlwaysWarm:
+		if !st.loaded {
+			s.scheduleWake(fid, st, t, t+1)
+		}
+		return
+	case classify.TypeCorrelated, classify.TypeSuccessive, classify.TypePulsed,
+		classify.TypeUnknown:
+		if !st.loaded {
+			return
+		}
+		s.scheduleWake(fid, st, t, s.evictionFloor(st, t))
+	default:
+		theta := s.cfg.Classify.ThetaPrewarm
+		if !st.loaded {
+			s.scheduleWake(fid, st, t,
+				s.pred.NextPrewarmOn(&st.profile, st.lastInvoked, t+1, theta))
+			return
+		}
+		floor := s.evictionFloor(st, t)
+		if st.eventSlot >= 0 && int(st.eventSlot) <= floor {
+			return
+		}
+		next := floor
+		if floor == t+1 {
+			// NextPrewarmOff(floor) returns floor itself when no window
+			// covers it, so this one call answers both "is a pre-warm window
+			// holding the function warm at the floor?" and "until when?".
+			next = s.pred.NextPrewarmOff(&st.profile, st.lastInvoked, floor, theta)
+		}
+		s.scheduleWake(fid, st, t, next)
+	}
+}
+
+// scheduleWake arms fid's single outstanding wheel event for slot next
+// (no-op when next is -1 or a pending event already fires at or before it).
+func (s *SPES) scheduleWake(fid trace.FuncID, st *funcState, t, next int) {
+	if next < 0 {
+		// No future self-transition; any pending event fires as a no-op.
+		return
+	}
+	if st.eventSlot >= 0 && int(st.eventSlot) <= next {
+		return
+	}
+	if st.eventSlot >= 0 {
+		st.seq++
+	}
+	st.eventSlot = int32(next)
+	s.wheel.schedule(t, next, wheelEvent{fid: int32(fid), seq: st.seq})
+}
+
+// The deadline invariants ensureWake and idleStep rely on:
+//   - wt(tau) = tau - lastInvoked + wtOff is the value the dense loop's
+//     incremental currentWT would hold at an idle slot tau, so the eviction
+//     floor needs no per-slot bookkeeping.
+//   - While a function is unloaded, tau <= preloadUntil cannot hold: pre-load
+//     windows are only ever set in the same slot the function is loaded, and
+//     eviction requires the window to have expired.
+//   - Pre-warm windows move only when lastInvoked or the profile change,
+//     both of which happen at invocations, which re-arm the wake-up.
+//   - Always-warm functions, once resident, have nothing left to schedule;
+//     if somehow unloaded, the next slot re-loads them. Types without
+//     time-based predictions (correlated, successive, pulsed, unknown) have
+//     no self-transition while unloaded.
+
+// evictionFloor returns the first slot after t at which the idle patience
+// has run out and no indicator pre-load is active — the earliest slot the
+// dense loop could evict the function, ignoring pre-warm windows.
+func (s *SPES) evictionFloor(st *funcState, t int) int {
+	tau := st.lastInvoked + s.thetaGivenup(st.profile.Type) - int(st.wtOff)
+	if p := st.preloadUntil + 1; p > tau {
+		tau = p
+	}
+	if tau <= t {
+		tau = t + 1
+	}
+	return tau
 }
 
 // shouldPreload evaluates line 15's pre_load flag for an idle function.
@@ -229,5 +532,5 @@ func (s *SPES) shouldPreload(fid trace.FuncID, st *funcState, t int) bool {
 }
 
 func (s *SPES) thetaGivenup(typ classify.Type) int {
-	return s.cfg.Classify.ThetaGivenup(typ)
+	return s.thetaGivenupByType[typ]
 }

@@ -1,0 +1,68 @@
+package core
+
+// wheelEvent is one scheduled wake-up: re-evaluate function fid's provision
+// state when the wheel reaches the event's slot. seq implements lazy
+// invalidation — the event is acted on only if the function's generation
+// counter still matches the one it was scheduled with.
+type wheelEvent struct {
+	fid int32
+	seq uint32
+}
+
+// wheel is a slot-granularity timing wheel: a power-of-two ring of buckets
+// indexed by slot, with an overflow map for deadlines beyond the ring's
+// horizon. Scheduling and draining are O(1) amortized per event, so the
+// provision loop's cost tracks the number of state transitions rather than
+// the number of functions.
+type wheel struct {
+	ring     [][]wheelEvent
+	mask     int
+	overflow map[int][]wheelEvent
+}
+
+// newWheel creates a wheel whose ring spans at least span slots (rounded up
+// to a power of two).
+func newWheel(span int) *wheel {
+	size := 1
+	for size < span {
+		size <<= 1
+	}
+	return &wheel{
+		ring:     make([][]wheelEvent, size),
+		mask:     size - 1,
+		overflow: make(map[int][]wheelEvent),
+	}
+}
+
+// schedule enqueues ev to fire at slot. current is the wheel's current slot
+// (the slot most recently drained, or -1 before the simulation starts);
+// slot must be strictly greater than current.
+func (w *wheel) schedule(current, slot int, ev wheelEvent) {
+	if slot-current <= w.mask {
+		idx := slot & w.mask
+		w.ring[idx] = append(w.ring[idx], ev)
+		return
+	}
+	w.overflow[slot] = append(w.overflow[slot], ev)
+}
+
+// drain invokes fn for every event scheduled at slot and recycles the
+// bucket's storage. Events scheduled by fn land at later slots and are not
+// observed by this drain: the bucket is detached before iteration, and a
+// same-index slot is exactly one ring revolution away — past the horizon —
+// so it lands in the overflow map, never in the detached bucket.
+func (w *wheel) drain(slot int, fn func(wheelEvent)) {
+	idx := slot & w.mask
+	if items := w.ring[idx]; len(items) > 0 {
+		w.ring[idx] = items[:0]
+		for _, ev := range items {
+			fn(ev)
+		}
+	}
+	if items, ok := w.overflow[slot]; ok {
+		delete(w.overflow, slot)
+		for _, ev := range items {
+			fn(ev)
+		}
+	}
+}

@@ -111,6 +111,118 @@ func (p *Predictor) ShouldPrewarm(profile *classify.Profile, lastInvoked, t, the
 	return false
 }
 
+// PrewarmWindowScan answers the event-driven provision loop's per-wake-up
+// questions in one window enumeration:
+//
+//	off — the smallest slot >= t at which ShouldPrewarm is false (off == t
+//	      means t itself is uncovered; off > t means t is covered through
+//	      off-1, i.e. ShouldPrewarm(t) is true);
+//	on  — the smallest slot >= t+1 at which ShouldPrewarm is true, or -1
+//	      when no pre-warm window reaches past t.
+//
+// It is exactly equivalent to calling ShouldPrewarm(t), NextPrewarmOff(t)
+// and NextPrewarmOn(t+1) separately. It runs once per active function per
+// slot inside the provision loop, so the windows (prediction points widened
+// by theta on both sides, with the possible type's wide/narrow split
+// resolved exactly as ShouldPrewarm does) are enumerated with plain loops —
+// no allocation, no closures.
+func (p *Predictor) PrewarmWindowScan(profile *classify.Profile, lastInvoked, t, theta int) (off, on int) {
+	switch profile.Type {
+	case classify.TypeRegular, classify.TypeApproRegular:
+		return scanValueWindows(profile.Values, lastInvoked, t, theta)
+	case classify.TypeDense:
+		if profile.RangeHi < profile.RangeLo {
+			return t, -1
+		}
+		return scanOneWindow(lastInvoked+profile.RangeLo-theta, lastInvoked+profile.RangeHi+theta, t)
+	case classify.TypePossible, classify.TypeNewlyPossible:
+		if len(profile.Values) == 0 {
+			return t, -1
+		}
+		lo, hi := profile.Values[0], profile.Values[0]
+		for _, v := range profile.Values[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > p.PossibleRangeMax {
+			return scanValueWindows(profile.Values, lastInvoked, t, theta)
+		}
+		return scanOneWindow(lastInvoked+lo-theta, lastInvoked+hi+theta, t)
+	default:
+		return t, -1
+	}
+}
+
+// scanValueWindows is PrewarmWindowScan over the discrete windows
+// [lastInvoked+v-theta, lastInvoked+v+theta]. The off-chase repeats until a
+// fixpoint because the windows arrive unordered and may overlap; it runs at
+// most once per window.
+func scanValueWindows(values []int, lastInvoked, t, theta int) (off, on int) {
+	off, on = t, -1
+	for _, v := range values {
+		lo, hi := lastInvoked+v-theta, lastInvoked+v+theta
+		if hi >= t+1 {
+			cand := lo
+			if cand < t+1 {
+				cand = t + 1
+			}
+			if on < 0 || cand < on {
+				on = cand
+			}
+		}
+	}
+	for {
+		advanced := false
+		for _, v := range values {
+			lo, hi := lastInvoked+v-theta, lastInvoked+v+theta
+			if off >= lo && off <= hi {
+				off = hi + 1
+				advanced = true
+			}
+		}
+		if !advanced {
+			return off, on
+		}
+	}
+}
+
+// scanOneWindow is PrewarmWindowScan for a single window [lo, hi].
+func scanOneWindow(lo, hi, t int) (off, on int) {
+	off, on = t, -1
+	if t >= lo && t <= hi {
+		off = hi + 1
+	}
+	if hi >= t+1 {
+		on = lo
+		if on < t+1 {
+			on = t + 1
+		}
+	}
+	return off, on
+}
+
+// NextPrewarmOn returns the smallest slot t >= from at which
+// ShouldPrewarm(profile, lastInvoked, t, theta) is true, or -1 when no
+// pre-warm window starts at or after from. The event-driven provision loop
+// uses it to schedule the wake-up that loads an idle function.
+func (p *Predictor) NextPrewarmOn(profile *classify.Profile, lastInvoked, from, theta int) int {
+	_, on := p.PrewarmWindowScan(profile, lastInvoked, from-1, theta)
+	return on
+}
+
+// NextPrewarmOff returns the smallest slot t >= from at which ShouldPrewarm
+// is false. Pre-warm windows are finite, so it always exists. The
+// event-driven provision loop uses it to schedule the eviction of a loaded
+// function whose predicted invocations keep it warm past its idle patience.
+func (p *Predictor) NextPrewarmOff(profile *classify.Profile, lastInvoked, from, theta int) int {
+	off, _ := p.PrewarmWindowScan(profile, lastInvoked, from, theta)
+	return off
+}
+
 // NextPredicted returns the earliest predicted invocation slot strictly
 // after t, or -1 when the profile predicts nothing. The event-queue variant
 // of the provision loop uses this to schedule wake-ups.

@@ -1,6 +1,6 @@
 package series
 
-import "repro/internal/stats"
+import "sort"
 
 // The slack rules of Section IV-A2 relax a WT sequence before re-testing the
 // "regular" definition: real-world periodic functions suffer boundary
@@ -35,7 +35,16 @@ func MergeSmallWTs(wts []int, closeTol int, smallFrac float64) []int {
 	if len(wts) == 0 {
 		return nil
 	}
-	mode := mergeReferenceMode(wts)
+	return MergeSmallWTsWithMode(wts, mergeReferenceMode(wts), closeTol, smallFrac)
+}
+
+// MergeSmallWTsWithMode is MergeSmallWTs with the reference mode supplied by
+// the caller (equal to MergeReferenceModeSorted of the sorted sequence), for
+// callers that already hold a sorted copy.
+func MergeSmallWTsWithMode(wts []int, mode, closeTol int, smallFrac float64) []int {
+	if len(wts) == 0 {
+		return nil
+	}
 	if mode <= 0 {
 		out := make([]int, len(wts))
 		copy(out, wts)
@@ -84,20 +93,32 @@ func MergeSmallWTs(wts []int, closeTol int, smallFrac float64) []int {
 // paper's example (1439, 1438, 1, 1439, 1438, 1) every value occurs twice,
 // and the intended mode is the near-daily 1439, not the artifact 1).
 func mergeReferenceMode(wts []int) int {
-	table := stats.FrequencyTable(wts)
-	if len(table) == 0 {
+	if len(wts) == 0 {
 		return 0
 	}
-	best := table[0]
-	for _, mc := range table[1:] {
-		if mc.Count < best.Count {
-			break
-		}
-		if mc.Value > best.Value {
-			best = mc
+	sorted := make([]int, len(wts))
+	copy(sorted, wts)
+	sort.Ints(sorted)
+	return MergeReferenceModeSorted(sorted)
+}
+
+// MergeReferenceModeSorted computes the merge rule's reference mode from an
+// ascending-sorted WT sequence in one run-length scan: values ascend, so
+// "largest among the most frequent" is the last run whose length ties the
+// best.
+func MergeReferenceModeSorted(sorted []int) int {
+	bestVal, bestCount := 0, 0
+	runStart := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || sorted[i] != sorted[runStart] {
+			if c := i - runStart; c >= bestCount {
+				bestCount = c
+				bestVal = sorted[runStart]
+			}
+			runStart = i
 		}
 	}
-	return best.Value
+	return bestVal
 }
 
 // SlackVariants returns the candidate WT sequences the classifier tests in

@@ -47,6 +47,27 @@ type Policy interface {
 	LoadedCount() int
 }
 
+// LoadDeltaTracker is implemented by policies that log loaded-set changes,
+// letting the simulator attribute idle memory minutes incrementally instead
+// of re-scanning all n functions every slot (O(active) instead of O(n)).
+//
+// The contract:
+//   - TakeLoadDeltas returns every flip of the loaded set since the previous
+//     call, in the order the flips happened, and resets the log. A function
+//     appears once per flip, so one that was loaded and evicted inside the
+//     same Tick appears twice; consumers reconstruct the state by toggling.
+//   - The returned slice is only valid until the policy's next Tick (trackers
+//     may reuse the backing array).
+//   - ok=false means tracking is unavailable for this run; the simulator
+//     falls back to the dense per-slot scan.
+//
+// The simulator establishes the post-Train baseline itself (one Loaded scan
+// before slot 0) and discards any training-era deltas, so Train does not
+// need to log.
+type LoadDeltaTracker interface {
+	TakeLoadDeltas() ([]trace.FuncID, bool)
+}
+
 // TypeTagger is implemented by policies (SPES) that assign each function a
 // category; the per-type breakdowns of Figures 10 and 12 use it.
 type TypeTagger interface {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/trace"
@@ -44,24 +45,67 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 	}
 	idx := simTrace.BuildSlotIndex()
 
-	// invokedAt marks the functions invoked in the current slot so the
-	// post-Tick memory charge can tell active instances from idle ones
-	// without a per-slot map allocation.
-	invokedAt := make([]bool, n)
+	// Delta mode: when the policy logs loaded-set flips, idle-memory
+	// attribution charges whole residency intervals at unload time instead of
+	// scanning all n functions every slot, making the per-slot accounting
+	// O(invoked + flipped). The tracked mirror (loaded/loadedFrom/
+	// invokedLoaded) is seeded from one post-Train scan; training-era deltas
+	// are discarded by the probe call.
+	var (
+		tracker       LoadDeltaTracker
+		loaded        []bool
+		loadedFrom    []int32 // slot the current residency began (valid while loaded)
+		invokedLoaded []int32 // invoked slots during the current residency
+	)
+	if tr, ok := policy.(LoadDeltaTracker); ok {
+		if _, ok := tr.TakeLoadDeltas(); ok {
+			tracker = tr
+			loaded = make([]bool, n)
+			loadedFrom = make([]int32, n)
+			invokedLoaded = make([]int32, n)
+			for fid := 0; fid < n; fid++ {
+				if policy.Loaded(trace.FuncID(fid)) {
+					loaded[fid] = true
+				}
+			}
+		}
+	}
+
+	// invokedAt marks the functions invoked in the current slot so the dense
+	// fallback's post-Tick memory charge can tell active instances from idle
+	// ones without a per-slot map allocation.
+	var invokedAt []bool
+	if tracker == nil {
+		invokedAt = make([]bool, n)
+	}
 
 	for t := 0; t < simTrace.Slots; t++ {
 		invs := idx.Invocations[t]
 
 		// Phase 1: cold-start accounting against the pre-Tick loaded set.
-		for _, fc := range invs {
-			m := &res.PerFunc[fc.Func]
-			m.Invocations += int64(fc.Count)
-			m.InvokedSlot++
-			if !policy.Loaded(fc.Func) {
-				m.ColdStarts++
-				res.TotalColdStarts++
+		// In delta mode the tracked mirror equals policy.Loaded and spares
+		// an interface call per invocation.
+		if tracker != nil {
+			for _, fc := range invs {
+				m := &res.PerFunc[fc.Func]
+				m.Invocations += int64(fc.Count)
+				m.InvokedSlot++
+				if !loaded[fc.Func] {
+					m.ColdStarts++
+					res.TotalColdStarts++
+				}
 			}
-			invokedAt[fc.Func] = true
+		} else {
+			for _, fc := range invs {
+				m := &res.PerFunc[fc.Func]
+				m.Invocations += int64(fc.Count)
+				m.InvokedSlot++
+				if !policy.Loaded(fc.Func) {
+					m.ColdStarts++
+					res.TotalColdStarts++
+				}
+				invokedAt[fc.Func] = true
+			}
 		}
 		res.TotalInvocations += funcCountTotal(invs)
 		res.TotalInvokedSlot += int64(len(invs))
@@ -76,45 +120,83 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 		}
 
 		// Phase 3: memory accounting on the post-Tick loaded set.
-		loaded := policy.LoadedCount()
-		res.TotalMemory += int64(loaded)
-		if loaded > res.MaxLoaded {
-			res.MaxLoaded = loaded
+		loadedCount := policy.LoadedCount()
+		res.TotalMemory += int64(loadedCount)
+		if loadedCount > res.MaxLoaded {
+			res.MaxLoaded = loadedCount
 		}
-		activeLoaded := 0
-		for _, fc := range invs {
-			if policy.Loaded(fc.Func) {
-				activeLoaded++
+
+		if tracker != nil {
+			// Each delta entry is one flip; toggling replays the Tick's
+			// loaded-set changes exactly. An unload closes the residency
+			// [loadedFrom, t-1] and charges its idle minutes (length minus
+			// the invoked-while-loaded slots) in one step.
+			deltas, _ := tracker.TakeLoadDeltas()
+			for _, fid := range deltas {
+				if loaded[fid] {
+					loaded[fid] = false
+					res.PerFunc[fid].WMTMinutes +=
+						int64(t) - int64(loadedFrom[fid]) - int64(invokedLoaded[fid])
+					invokedLoaded[fid] = 0
+				} else {
+					loaded[fid] = true
+					loadedFrom[fid] = int32(t)
+				}
 			}
 		}
-		idle := loaded - activeLoaded
+
+		activeLoaded := 0
+		if tracker != nil {
+			for _, fc := range invs {
+				if loaded[fc.Func] {
+					activeLoaded++
+					invokedLoaded[fc.Func]++
+				}
+			}
+		} else {
+			for _, fc := range invs {
+				if policy.Loaded(fc.Func) {
+					activeLoaded++
+				}
+			}
+		}
+		idle := loadedCount - activeLoaded
 		if idle < 0 {
 			// A policy evicting a function in the same slot it was invoked
 			// cannot push idle below zero; guard against miscounting bugs.
 			idle = 0
 		}
 		res.TotalWMT += int64(idle)
-		if loaded > 0 {
-			res.EMCRSum += float64(activeLoaded) / float64(loaded)
+		if loadedCount > 0 {
+			res.EMCRSum += float64(activeLoaded) / float64(loadedCount)
 			res.EMCRSlots++
 		}
 
-		// Idle minutes charge to the loaded-but-not-invoked functions.
-		// Walking only the invoked list is not enough; ask the policy for
-		// the full loaded set via Loaded(). To stay O(loaded) rather than
-		// O(n) we require idle-WMT attribution only in per-function detail
-		// when the policy exposes iteration; otherwise distribute by scan.
-		for fid := 0; fid < n; fid++ {
-			if policy.Loaded(trace.FuncID(fid)) && !invokedAt[fid] {
-				res.PerFunc[fid].WMTMinutes++
+		// Dense fallback: charge idle minutes to the loaded-but-not-invoked
+		// functions by scanning the whole population.
+		if tracker == nil {
+			for fid := 0; fid < n; fid++ {
+				if policy.Loaded(trace.FuncID(fid)) && !invokedAt[fid] {
+					res.PerFunc[fid].WMTMinutes++
+				}
 			}
-		}
-		for _, fc := range invs {
-			invokedAt[fc.Func] = false
+			for _, fc := range invs {
+				invokedAt[fc.Func] = false
+			}
 		}
 
 		if opts.Progress != nil && opts.ProgressEvery > 0 && t%opts.ProgressEvery == 0 {
 			opts.Progress(t)
+		}
+	}
+
+	// Close the residencies still open at the end of the simulation.
+	if tracker != nil {
+		for fid := 0; fid < n; fid++ {
+			if loaded[fid] {
+				res.PerFunc[fid].WMTMinutes +=
+					int64(simTrace.Slots) - int64(loadedFrom[fid]) - int64(invokedLoaded[fid])
+			}
 		}
 	}
 
@@ -128,16 +210,55 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 }
 
 // RunAll simulates several policies over the same train/sim pair, returning
-// results in input order. Policies run independently (fresh accounting per
-// run); errors abort at the first failing policy.
+// results in input order. Policy runs are independent (each policy owns its
+// state and the traces are only read), so they execute concurrently, one
+// goroutine per policy; errors report the first failing policy in input
+// order. A caller-supplied opts.Progress is serialized so callers need no
+// locking of their own, but it observes the policies' interleaved slot
+// numbers. MeasureOverhead runs the policies sequentially instead:
+// per-Tick wall-clock timings taken while policies contend for cores would
+// be meaningless.
 func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([]*Result, error) {
-	results := make([]*Result, 0, len(policies))
-	for _, p := range policies {
-		r, err := Run(p, training, simTrace, opts)
-		if err != nil {
-			return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+	if opts.MeasureOverhead {
+		results := make([]*Result, len(policies))
+		for i, p := range policies {
+			r, err := Run(p, training, simTrace, opts)
+			if err != nil {
+				return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+			}
+			results[i] = r
 		}
-		results = append(results, r)
+		return results, nil
+	}
+	if opts.Progress != nil {
+		var mu sync.Mutex
+		progress := opts.Progress
+		opts.Progress = func(slot int) {
+			mu.Lock()
+			defer mu.Unlock()
+			progress(slot)
+		}
+	}
+	results := make([]*Result, len(policies))
+	errs := make([]error, len(policies))
+	var wg sync.WaitGroup
+	for i, p := range policies {
+		wg.Add(1)
+		go func(i int, p Policy) {
+			defer wg.Done()
+			r, err := Run(p, training, simTrace, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+				return
+			}
+			results[i] = r
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }

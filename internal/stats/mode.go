@@ -12,17 +12,34 @@ type ModeCount struct {
 // FrequencyTable returns the distinct values of xs with their occurrence
 // counts, ordered by descending count and ascending value among ties. The
 // deterministic tie-break keeps categorization reproducible run to run.
+// Counting runs over a sorted copy rather than a hash map: the offline
+// categorization calls this for every function (several times under the
+// slack cascade), and an int sort plus a run-length scan is much cheaper
+// than map inserts at these sizes.
 func FrequencyTable(xs []int) []ModeCount {
 	if len(xs) == 0 {
 		return nil
 	}
-	counts := make(map[int]int, len(xs))
-	for _, x := range xs {
-		counts[x]++
+	sorted := make([]int, len(xs))
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	return FrequencyTableSorted(sorted)
+}
+
+// FrequencyTableSorted is FrequencyTable over an already ascending-sorted
+// slice, for callers that have sorted the data anyway. Behaviour on
+// unsorted input is undefined.
+func FrequencyTableSorted(sorted []int) []ModeCount {
+	if len(sorted) == 0 {
+		return nil
 	}
-	table := make([]ModeCount, 0, len(counts))
-	for v, c := range counts {
-		table = append(table, ModeCount{Value: v, Count: c})
+	var table []ModeCount
+	runStart := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i == len(sorted) || sorted[i] != sorted[runStart] {
+			table = append(table, ModeCount{Value: sorted[runStart], Count: i - runStart})
+			runStart = i
+		}
 	}
 	sort.Slice(table, func(i, j int) bool {
 		if table[i].Count != table[j].Count {

@@ -11,6 +11,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Trigger enumerates the Azure Functions trigger types the paper's Figure 5
@@ -175,6 +176,12 @@ type Trace struct {
 	Slots     int
 	Functions []Function
 	Series    []Series // indexed by FuncID
+
+	// idx memoizes BuildSlotIndex (guarded by idxMu; invalidated by
+	// AddFunction), so repeated simulations over the same trace — including
+	// concurrent policy runs in sim.RunAll — share one slot-major index.
+	idxMu sync.Mutex
+	idx   *SlotIndex
 }
 
 // NewTrace creates an empty trace spanning slots minutes.
@@ -190,6 +197,9 @@ func (tr *Trace) AddFunction(name, app, user string, trig Trigger, events []Even
 		ID: id, Name: name, App: app, User: user, Trigger: trig,
 	})
 	tr.Series = append(tr.Series, normalize(events))
+	tr.idxMu.Lock()
+	tr.idx = nil
+	tr.idxMu.Unlock()
 	return id
 }
 
@@ -239,19 +249,53 @@ type FuncCount struct {
 }
 
 // BuildSlotIndex converts the function-major trace into a slot-major index.
+// Per-slot lists are counted first and carved out of one backing array, so
+// the build does exactly two passes over the events and two allocations
+// regardless of trace size. The result is memoized per trace (adding a
+// function invalidates it); callers must not mutate the returned index.
 func (tr *Trace) BuildSlotIndex() *SlotIndex {
+	tr.idxMu.Lock()
+	defer tr.idxMu.Unlock()
+	if tr.idx != nil {
+		return tr.idx
+	}
+	tr.idx = tr.buildSlotIndex()
+	return tr.idx
+}
+
+func (tr *Trace) buildSlotIndex() *SlotIndex {
+	counts := make([]int32, tr.Slots+1)
+	total := 0
+	for _, s := range tr.Series {
+		for _, e := range s {
+			if int(e.Slot) >= tr.Slots {
+				continue
+			}
+			counts[e.Slot]++
+			total++
+		}
+	}
+	backing := make([]FuncCount, total)
+	offsets := make([]int32, tr.Slots+1)
+	for t := 0; t < tr.Slots; t++ {
+		offsets[t+1] = offsets[t] + counts[t]
+	}
+	fill := make([]int32, tr.Slots)
 	idx := &SlotIndex{Invocations: make([][]FuncCount, tr.Slots)}
+	for t := 0; t < tr.Slots; t++ {
+		idx.Invocations[t] = backing[offsets[t]:offsets[t+1]:offsets[t+1]]
+	}
+	// Within a slot, events are filled in FuncID order (the outer loop is
+	// FuncID-major), so no per-slot sort is needed.
 	for fid, s := range tr.Series {
 		for _, e := range s {
 			if int(e.Slot) >= tr.Slots {
 				continue
 			}
-			idx.Invocations[e.Slot] = append(idx.Invocations[e.Slot],
-				FuncCount{Func: FuncID(fid), Count: e.Count})
+			backing[offsets[e.Slot]+fill[e.Slot]] = FuncCount{Func: FuncID(fid), Count: e.Count}
+			fill[e.Slot]++
 		}
 	}
-	// Within a slot, events were appended in FuncID order already (outer
-	// loop is FuncID-major), so no per-slot sort is needed.
 	return idx
 }
 
