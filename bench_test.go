@@ -167,3 +167,24 @@ func BenchmarkFullSimulation_SPES(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFullSimulation_SPES_Sharded is the sharded-engine counterpart of
+// BenchmarkFullSimulation_SPES: same bench-scale workload, population split
+// into 4 app/user-closed shards simulated concurrently and merged. On a
+// single-core runner the shard runs serialize, so the comparison against
+// the unsharded benchmark bounds the sharding overhead; with >= 4 cores it
+// shows the speedup. cmd/benchjson's -sweep extends this to 10k-100k
+// sparse populations.
+func BenchmarkFullSimulation_SPES_Sharded(b *testing.B) {
+	s := benchSettings()
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{Shards: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

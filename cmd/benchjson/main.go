@@ -5,6 +5,12 @@
 //
 //	go run ./cmd/benchjson                  # writes BENCH_1.json
 //	go run ./cmd/benchjson -out BENCH_2.json -benchtime 3s
+//
+// -sweep additionally runs an in-process full-simulation scale sweep over
+// comma-separated population sizes (sparse traffic, per shard count), the
+// regime where the sharded engine's near-linear core scaling shows:
+//
+//	go run ./cmd/benchjson -out BENCH_2.json -sweep 600,10000,100000 -sweepShards 1,4
 package main
 
 import (
@@ -20,6 +26,10 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -33,14 +43,89 @@ type Benchmark struct {
 
 // Snapshot is the file format of BENCH_<n>.json.
 type Snapshot struct {
-	Generated  time.Time   `json:"generated"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPU        string      `json:"cpu,omitempty"`
-	Bench      string      `json:"bench_regex"`
-	Benchtime  string      `json:"benchtime"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Generated  time.Time    `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	CPU        string       `json:"cpu,omitempty"`
+	MaxProcs   int          `json:"maxprocs,omitempty"`
+	Bench      string       `json:"bench_regex"`
+	Benchtime  string       `json:"benchtime"`
+	Benchmarks []Benchmark  `json:"benchmarks"`
+	Sweep      []SweepPoint `json:"scale_sweep,omitempty"`
+}
+
+// SweepPoint is one full-simulation measurement of the scale sweep: SPES
+// trained and simulated end to end over a sparse synthetic population of
+// the given size, with the given shard count (1 = the classic unsharded
+// engine). The result fields are recorded so the sweep doubles as an
+// equivalence check — every shard count at the same scale must report the
+// same cold starts and WMT. Single-core caveat: with maxprocs=1 the shard
+// runs serialize, so shards>1 shows the sharding overhead floor rather
+// than a speedup; the near-linear scaling claim needs maxprocs >= shards.
+type SweepPoint struct {
+	Functions  int     `json:"functions"`
+	Days       int     `json:"days"`
+	TrainDays  int     `json:"train_days"`
+	Seed       int64   `json:"seed"`
+	Shards     int     `json:"shards"`
+	GenerateMs float64 `json:"generate_ms"`
+	FullSimMs  float64 `json:"full_sim_ms"` // Train + simulate, wall clock
+	ColdStarts int64   `json:"cold_starts"`
+	WMT        int64   `json:"wmt"`
+	MaxLoaded  int     `json:"max_loaded"`
+}
+
+// runSweep executes the scale sweep in-process.
+func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, n := range scales {
+		s := experiments.SparseSettings(n, seed)
+		genStart := time.Now()
+		_, train, simTr, err := experiments.BuildWorkload(s)
+		if err != nil {
+			return nil, err
+		}
+		genMs := float64(time.Since(genStart).Microseconds()) / 1e3
+		for _, shards := range shardCounts {
+			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d...\n", n, shards)
+			simStart := time.Now()
+			res, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+				sim.Options{Shards: shards})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{
+				Functions:  n,
+				Days:       s.Days,
+				TrainDays:  s.TrainDays,
+				Seed:       seed,
+				Shards:     shards,
+				GenerateMs: genMs,
+				FullSimMs:  float64(time.Since(simStart).Microseconds()) / 1e3,
+				ColdStarts: res.TotalColdStarts,
+				WMT:        res.TotalWMT,
+				MaxLoaded:  res.MaxLoaded,
+			})
+		}
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated int list.
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(\S+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
@@ -49,7 +134,21 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output file")
 	bench := flag.String("bench", "Overhead|BenchmarkFullSimulation_SPES$", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
+	sweep := flag.String("sweep", "", "comma-separated population sizes for the full-simulation scale sweep (empty: skip)")
+	sweepShards := flag.String("sweepShards", "1,4", "comma-separated shard counts per sweep scale")
+	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
 	flag.Parse()
+
+	scales, err := parseInts(*sweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -sweep: %v\n", err)
+		os.Exit(1)
+	}
+	shardCounts, err := parseInts(*sweepShards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -sweepShards: %v\n", err)
+		os.Exit(1)
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "."}
@@ -68,6 +167,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
 		Bench:     *bench,
 		Benchtime: *benchtime,
 	}
@@ -96,6 +196,14 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines parsed from:\n%s\n", stdout.String())
 		os.Exit(1)
+	}
+
+	if len(scales) > 0 {
+		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: sweep: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")

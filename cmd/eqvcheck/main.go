@@ -1,6 +1,15 @@
+// Command eqvcheck is the CLI form of the engine-equivalence tests, at a
+// scale the unit suite does not run on every invocation: it simulates SPES
+// with the dense reference engine, the event-driven engine, and the sharded
+// engine over seeded workloads and exits non-zero on the first sim.Result
+// mismatch.
+//
+//	go run ./cmd/eqvcheck                         # 400 functions, shards 4
+//	go run ./cmd/eqvcheck -functions 10000 -sparse -shards 8 -seeds 3
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"reflect"
@@ -8,14 +17,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
+	functions := flag.Int("functions", 400, "population size")
+	days := flag.Int("days", 8, "trace length in days")
+	trainDays := flag.Int("traindays", 6, "training window in days")
+	shards := flag.Int("shards", 4, "shard count for the sharded engine (0 disables the sharded check)")
+	seeds := flag.Int("seeds", 3, "number of seeds to check")
+	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n regime)")
+	flag.Parse()
+
 	s := experiments.DefaultSettings()
-	s.Functions = 400
-	s.Days = 8
-	s.TrainDays = 6
-	for seed := int64(1); seed <= 3; seed++ {
+	s.Functions = *functions
+	s.Days = *days
+	s.TrainDays = *trainDays
+	if *sparse {
+		s.TriggerMix = trace.SparseTriggerMix()
+	}
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		s.Seed = seed
 		_, train, simTr, err := experiments.BuildWorkload(s)
 		if err != nil {
@@ -31,32 +52,49 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		rd.Overhead, re.Overhead = 0, 0
-		if !reflect.DeepEqual(rd, re) {
-			fmt.Printf("seed %d: MISMATCH\n", seed)
-			fmt.Printf("dense: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory, rd.EMCRSum, rd.MaxLoaded)
-			fmt.Printf("event: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", re.TotalColdStarts, re.TotalWMT, re.TotalMemory, re.EMCRSum, re.MaxLoaded)
-			n := 0
-			for fid := range rd.PerFunc {
-				if rd.PerFunc[fid] != re.PerFunc[fid] {
-					fmt.Printf("  f%d dense=%+v event=%+v type=%s\n", fid, rd.PerFunc[fid], re.PerFunc[fid], rd.Types[fid])
-					n++
-					if n > 8 {
-						break
-					}
-				}
+		compare(fmt.Sprintf("seed %d: event", seed), rd, re)
+		if *shards > 1 {
+			rs, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+				sim.Options{Shards: *shards})
+			if err != nil {
+				panic(err)
 			}
-			for fid := range rd.Types {
-				if rd.Types[fid] != re.Types[fid] {
-					fmt.Printf("  f%d type dense=%s event=%s\n", fid, rd.Types[fid], re.Types[fid])
-					n++
-					if n > 12 {
-						break
-					}
-				}
-			}
-			os.Exit(1)
+			compare(fmt.Sprintf("seed %d: sharded x%d", seed, *shards), rd, rs)
 		}
-		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n", seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
+		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
+			seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
 	}
+}
+
+// compare exits non-zero with a field-level diff when got differs from the
+// dense reference (Overhead excluded: wall clock).
+func compare(label string, dense, got *sim.Result) {
+	d, g := *dense, *got
+	d.Overhead, g.Overhead = 0, 0
+	if reflect.DeepEqual(&d, &g) {
+		return
+	}
+	fmt.Printf("%s: MISMATCH\n", label)
+	fmt.Printf("dense: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", d.TotalColdStarts, d.TotalWMT, d.TotalMemory, d.EMCRSum, d.MaxLoaded)
+	fmt.Printf("other: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", g.TotalColdStarts, g.TotalWMT, g.TotalMemory, g.EMCRSum, g.MaxLoaded)
+	n := 0
+	for fid := range d.PerFunc {
+		if d.PerFunc[fid] != g.PerFunc[fid] {
+			fmt.Printf("  f%d dense=%+v other=%+v type=%s\n", fid, d.PerFunc[fid], g.PerFunc[fid], d.Types[fid])
+			n++
+			if n > 8 {
+				break
+			}
+		}
+	}
+	for fid := range d.Types {
+		if d.Types[fid] != g.Types[fid] {
+			fmt.Printf("  f%d type dense=%s other=%s\n", fid, d.Types[fid], g.Types[fid])
+			n++
+			if n > 12 {
+				break
+			}
+		}
+	}
+	os.Exit(1)
 }

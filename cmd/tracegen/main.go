@@ -5,6 +5,22 @@
 // Usage:
 //
 //	tracegen -functions 2000 -days 14 -seed 1 -o trace.csv
+//
+// Large populations: -shards S generates and writes the trace one
+// population shard at a time (whole applications and users per shard), so
+// peak memory is ~1/S of the full trace and 100k-1M function traces can be
+// produced on ordinary machines. The output contains exactly the same
+// functions and series — shard sections are concatenated into one CSV,
+// which the reader accumulates by function hash — but row order (and
+// therefore the FuncID space ReadCSV assigns by first appearance) is a
+// permutation of the unsharded file's. Simulations over it are the same
+// workload, not bit-comparable to ones over an unsharded-order CSV:
+// FuncID-order tie-breaks (link ranking, candidate enumeration) can
+// resolve differently. For bit-exact cross-checks either generate
+// unsharded or simulate the generated trace directly (sim.Options.Shards
+// preserves global order):
+//
+//	tracegen -functions 500000 -days 14 -shards 32 -o big.csv
 package main
 
 import (
@@ -22,16 +38,20 @@ func main() {
 	out := flag.String("o", "trace.csv", "output CSV path (- for stdout)")
 	shift := flag.Float64("shift", 0.10, "fraction of functions with concept shifts")
 	chain := flag.Float64("chain", 0.40, "fraction of multi-function apps forming chains")
+	shards := flag.Int("shards", 1, "generate the population in this many streamed shards (bounds peak memory to ~1/shards of the trace)")
+	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n scale experiments)")
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "tracegen: -shards must be >= 1")
+		os.Exit(1)
+	}
 
 	cfg := trace.DefaultGeneratorConfig(*functions, *days, *seed)
 	cfg.ShiftFraction = *shift
 	cfg.ChainFraction = *chain
-
-	tr, err := trace.Generate(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if *sparse {
+		cfg.TriggerMix = trace.SparseTriggerMix()
 	}
 
 	w := os.Stdout
@@ -44,10 +64,26 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteCSV(w, tr); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+
+	written := 0
+	var invocations int64
+	for i := 0; i < *shards; i++ {
+		sh, err := trace.GenerateShard(cfg, i, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteCSV(w, sh.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		written += sh.NumFunctions()
+		invocations += sh.TotalInvocations()
+		if *shards > 1 {
+			fmt.Fprintf(os.Stderr, "tracegen: shard %d/%d: %d functions\n",
+				i+1, *shards, sh.NumFunctions())
+		}
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d functions x %d days (%d invocations) to %s\n",
-		tr.NumFunctions(), *days, tr.TotalInvocations(), *out)
+		written, *days, invocations, *out)
 }

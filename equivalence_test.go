@@ -7,6 +7,7 @@
 package main
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -93,18 +94,140 @@ func TestSPESEventEngineEquivalence(t *testing.T) {
 		cases := []struct {
 			label  string
 			policy sim.Policy
+			opts   sim.Options
 		}{
-			{"event engine + delta accounting", core.New(core.DefaultConfig())},
-			{"event engine + scan accounting", scanOnlyTagged{core.New(core.DefaultConfig())}},
-			{"dense engine + delta accounting", core.New(denseCfg)},
+			{"event engine + delta accounting", core.New(core.DefaultConfig()), sim.Options{}},
+			{"event engine + scan accounting", scanOnlyTagged{core.New(core.DefaultConfig())}, sim.Options{}},
+			{"dense engine + delta accounting", core.New(denseCfg), sim.Options{}},
+			{"sharded x2 event engine", core.New(core.DefaultConfig()), sim.Options{Shards: 2}},
+			{"sharded x5 event engine", core.New(core.DefaultConfig()), sim.Options{Shards: 5}},
+			{"sharded x3 dense engine", core.New(denseCfg), sim.Options{Shards: 3}},
 		}
 		for _, c := range cases {
-			got, err := sim.Run(c.policy, train, simTr, sim.Options{})
+			got, err := sim.Run(c.policy, train, simTr, c.opts)
 			if err != nil {
 				t.Fatal(err)
 			}
 			assertSameResult(t, c.label, ref, got)
 		}
+	}
+}
+
+// TestShardedBaselineEquivalence runs every shardable baseline under
+// Options.Shards and requires the merged result to match its unsharded run,
+// and asserts the capacity-coupled policies refuse sharded execution rather
+// than silently changing behaviour.
+func TestShardedBaselineEquivalence(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mks := []func() sim.Policy{
+		func() sim.Policy { return baselines.NewFixedKeepAlive(10) },
+		func() sim.Policy { return baselines.NewHybridFunction(baselines.DefaultHybridConfig()) },
+		func() sim.Policy { return baselines.NewHybridApplication(baselines.DefaultHybridConfig()) },
+		func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+	}
+	for _, mk := range mks {
+		ref, err := sim.Run(mk(), train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4} {
+			got, err := sim.Run(mk(), train, simTr, sim.Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("%s x%d", ref.Policy, shards), ref, got)
+		}
+	}
+
+	for _, capPolicy := range []sim.Policy{
+		baselines.NewFaaSCache(30),
+		baselines.NewLCS(30),
+	} {
+		if _, err := sim.Run(capPolicy, train, simTr, sim.Options{Shards: 2}); err == nil {
+			t.Errorf("%s: sharded run must be refused (global capacity)", capPolicy.Name())
+		}
+	}
+}
+
+// TestShardedLargeNSparseEquivalence is the scale form of the engine
+// equivalence: a 10k-function mostly-idle population (three seeds) must
+// produce bit-identical sim.Results from the sharded, unsharded, and dense
+// reference engines. This is the regime sharding exists for — the
+// population is ~17x bench scale while the invocation volume stays small —
+// so the test doubles as a guard that none of the engines' O(active)
+// claims regress into O(n) correctness hacks. Skipped under -short (the
+// race-detector CI job runs the unit suite with -short and exercises a
+// small sharded run via cmd/eqvcheck instead).
+func TestShardedLargeNSparseEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n equivalence skipped with -short")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		s := experiments.SparseSettings(10_000, seed)
+		_, train, simTr, err := experiments.BuildWorkload(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		denseCfg := core.DefaultConfig()
+		denseCfg.DenseScan = true
+		ref, err := sim.Run(scanOnlyTagged{core.New(denseCfg)}, train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.TotalColdStarts == 0 || ref.TotalWMT == 0 {
+			t.Fatalf("seed %d: degenerate sparse workload: %+v", seed, ref)
+		}
+
+		event, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("seed %d: event vs dense", seed), ref, event)
+
+		for _, shards := range []int{4, 16} {
+			sharded, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+				sim.Options{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("seed %d: sharded x%d vs dense", seed, shards), ref, sharded)
+		}
+	}
+}
+
+// TestShardedRunAllSharesBudget smoke-tests the policies x shards worker
+// budget: several sharded policies under one RunAll with Workers=2 must
+// still produce in-order, bit-correct results.
+func TestShardedRunAllSharesBudget(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mks := []func() sim.Policy{
+		func() sim.Policy { return core.New(core.DefaultConfig()) },
+		func() sim.Policy { return baselines.NewFixedKeepAlive(10) },
+		func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+	}
+	var want []*sim.Result
+	var pack []sim.Policy
+	for _, mk := range mks {
+		r, err := sim.Run(mk(), train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+		pack = append(pack, mk())
+	}
+	got, err := sim.RunAll(pack, train, simTr, sim.Options{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		assertSameResult(t, want[i].Policy+" sharded RunAll", want[i], got[i])
 	}
 }
 

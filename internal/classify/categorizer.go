@@ -1,11 +1,68 @@
 package classify
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/series"
 	"repro/internal/trace"
 )
+
+// workerTokens caps the categorization helper goroutines alive across ALL
+// concurrent Categorize calls at GOMAXPROCS: sharded simulations train one
+// policy per shard concurrently, and each of those trainings categorizes in
+// parallel, so without a process-wide budget the helper count would multiply
+// to shards x cores. The calling goroutine always works without a token, so
+// progress never depends on token availability.
+var workerTokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// parallelDo runs fn(k) for every k in [0, items), fanning out over at most
+// `workers` goroutines (the caller included). Work is handed out by an
+// atomic counter, so scheduling is nondeterministic — callers must make
+// fn(k) write only to slot k-owned state, which keeps results bit-identical
+// for every worker count. Helpers that cannot immediately draw a token are
+// simply not spawned (the machine is busy; the caller still finishes the
+// work itself).
+func parallelDo(workers, items int, fn func(k int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= items {
+				return
+			}
+			fn(k)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		select {
+		case workerTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-workerTokens }()
+				work()
+			}()
+		default:
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// catChunk is the per-function pass's work-unit size: large enough that the
+// atomic hand-off is noise, small enough to balance skewed populations
+// (dense always-warm series cost far more than silent ones).
+const catChunk = 512
 
 // Outcome is the offline categorization result for an entire trace.
 type Outcome struct {
@@ -38,35 +95,52 @@ func Categorize(training *trace.Trace, cfg Config, disableCorrelation, disableFo
 	// Pass 1: deterministic (with forgetting), collecting the leftovers.
 	// Activities come straight from the sparse event series — O(events per
 	// function), not O(slots) — so the pass costs nothing for the mostly-idle
-	// long tail of a large population.
+	// long tail of a large population. Functions are independent, so the pass
+	// fans out over fixed chunks; each chunk owns its output slots and its
+	// leftover list, and the chunk-order concatenation below restores the
+	// exact serial ordering, making the outcome identical for any worker
+	// count.
+	chunks := (n + catChunk - 1) / catChunk
+	indetFids := make([][]trace.FuncID, chunks)
+	indetChunkActs := make([][]series.Activity, chunks)
+	parallelDo(cfg.Workers, chunks, func(k int) {
+		lo, hi := k*catChunk, (k+1)*catChunk
+		if hi > n {
+			hi = n
+		}
+		for fid := lo; fid < hi; fid++ {
+			s := training.Series[fid]
+			if len(s) == 0 {
+				out.Profiles[fid] = Profile{Type: TypeUnknown}
+				continue
+			}
+			// Always-warm resolves straight off the series (definition 1 is
+			// tested on the full window first under both paths), sparing the
+			// heaviest functions — the ones with events in nearly every slot —
+			// the full extraction.
+			p, ok := alwaysWarmFast(s, training.Slots, cfg)
+			var act series.Activity
+			if !ok {
+				act = extractWindow(s, 0, training.Slots)
+				if disableForgetting {
+					p, ok = categorizeActivity(act, cfg)
+				} else {
+					p, ok = categorizeWithForgettingSparse(s, act, cfg)
+				}
+			}
+			if ok {
+				out.Profiles[fid] = p
+				continue
+			}
+			indetFids[k] = append(indetFids[k], trace.FuncID(fid))
+			indetChunkActs[k] = append(indetChunkActs[k], act)
+		}
+	})
 	var indeterminate []trace.FuncID
 	var indetActs []series.Activity // full-window activities, parallel to indeterminate
-	for fid := 0; fid < n; fid++ {
-		s := training.Series[fid]
-		if len(s) == 0 {
-			out.Profiles[fid] = Profile{Type: TypeUnknown}
-			continue
-		}
-		// Always-warm resolves straight off the series (definition 1 is
-		// tested on the full window first under both paths), sparing the
-		// heaviest functions — the ones with events in nearly every slot —
-		// the full extraction.
-		p, ok := alwaysWarmFast(s, training.Slots, cfg)
-		var act series.Activity
-		if !ok {
-			act = extractWindow(s, 0, training.Slots)
-			if disableForgetting {
-				p, ok = categorizeActivity(act, cfg)
-			} else {
-				p, ok = categorizeWithForgettingSparse(s, act, cfg)
-			}
-		}
-		if ok {
-			out.Profiles[fid] = p
-			continue
-		}
-		indeterminate = append(indeterminate, trace.FuncID(fid))
-		indetActs = append(indetActs, act)
+	for k := range indetFids {
+		indeterminate = append(indeterminate, indetFids[k]...)
+		indetActs = append(indetActs, indetChunkActs[k]...)
 	}
 	if len(indeterminate) == 0 {
 		return out
@@ -92,23 +166,32 @@ func Categorize(training *trace.Trace, cfg Config, disableCorrelation, disableFo
 
 	// seen/seenGen deduplicate candidates across a target's app and user peer
 	// lists without a per-target map: a candidate is seen when its stamp
-	// matches the current generation.
-	seen := make([]uint32, n)
-	var seenGen uint32
+	// matches the current generation. Targets are mutually independent (each
+	// writes only its own profile slot, all mined state is read-only), so
+	// the assignment fans out too; each worker borrows a stamp buffer from
+	// the pool rather than sharing one.
+	type seenBuf struct {
+		stamps []uint32
+		gen    uint32
+	}
+	bufPool := sync.Pool{New: func() any { return &seenBuf{stamps: make([]uint32, n)} }}
 
-	for i, fid := range indeterminate {
+	parallelDo(cfg.Workers, len(indeterminate), func(i int) {
+		fid := indeterminate[i]
 		var links []Link
 		var candFires [][]int32
 		if !disableCorrelation {
-			seenGen++
-			links = mineLinks(fid, invoked, apps[meta[fid].App], users[meta[fid].User], cfg, seen, seenGen)
+			buf := bufPool.Get().(*seenBuf)
+			buf.gen++
+			links = mineLinks(fid, invoked, apps[meta[fid].App], users[meta[fid].User], cfg, buf.stamps, buf.gen)
+			bufPool.Put(buf)
 			for _, l := range links {
 				candFires = append(candFires, valFires[l.Cand])
 			}
 		}
 		out.Profiles[fid] = assignIndeterminateActivity(indetActs[i], valFires[fid],
 			training.Slots-valStart, links, candFires, cfg)
-	}
+	})
 	return out
 }
 

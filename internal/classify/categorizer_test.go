@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/trace"
@@ -251,6 +252,38 @@ func TestAlwaysWarmFastMatchesActivityBranch(t *testing.T) {
 			want := Profile{Type: TypeAlwaysWarm, WTCount: len(act.WT)}
 			if fastP.Type != want.Type || fastP.WTCount != want.WTCount {
 				t.Errorf("case %d: alwaysWarmFast profile %+v, want %+v", i, fastP, want)
+			}
+		}
+	}
+}
+
+// TestCategorizeParallelDeterminism pins the parallel categorization to the
+// serial reference: every worker count must produce identical profiles, and
+// so must repeated runs at the same worker count (scheduling must not leak
+// into the outcome).
+func TestCategorizeParallelDeterminism(t *testing.T) {
+	tr, err := trace.Generate(trace.DefaultGeneratorConfig(400, 4, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := tr.Split(3 * 1440)
+
+	serial := DefaultConfig()
+	serial.Workers = 1
+	ref := Categorize(train, serial, false, false)
+
+	for _, w := range []int{0, 2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Workers = w
+		for rep := 0; rep < 2; rep++ {
+			got := Categorize(train, cfg, false, false)
+			if !reflect.DeepEqual(got.Profiles, ref.Profiles) {
+				for fid := range ref.Profiles {
+					if !reflect.DeepEqual(got.Profiles[fid], ref.Profiles[fid]) {
+						t.Fatalf("workers=%d rep %d: f%d profile %+v, want %+v",
+							w, rep, fid, got.Profiles[fid], ref.Profiles[fid])
+					}
+				}
 			}
 		}
 	}

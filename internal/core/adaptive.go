@@ -14,11 +14,13 @@ import (
 
 // recordOnlineWT appends a finished waiting time to the function's online
 // history (S1) and, when enough new samples have accumulated, runs the
-// adjustment (S2) or promotion (S3) step.
-func (s *SPES) recordOnlineWT(fid trace.FuncID, st *funcState, wt int) {
+// adjustment (S2) or promotion (S3) step. The hot type cache (s.typ) is
+// re-synced afterwards: promotion and adjustment may rewrite the profile.
+func (s *SPES) recordOnlineWT(fid trace.FuncID, wt int) {
 	if s.cfg.DisableAdjusting {
 		return
 	}
+	st := &s.states[fid]
 	if len(st.onlineWTs) < maxOnlineWTs {
 		if st.onlineWTs == nil {
 			st.onlineWTs = make([]int, 0, maxOnlineWTs)
@@ -49,6 +51,7 @@ func (s *SPES) recordOnlineWT(fid trace.FuncID, st *funcState, wt int) {
 	case classify.TypeUnknown:
 		s.promoteUnknown(st)
 	}
+	s.typ[fid] = st.profile.Type
 }
 
 // chronoWTs returns st's online WTs oldest-first. While the ring has not

@@ -15,6 +15,7 @@ func trainedSPES(profile classify.Profile) *SPES {
 	tr.AddFunction("f", "app", "u", trace.TriggerHTTP, []trace.Event{{Slot: 0, Count: 1}})
 	s.Train(tr)
 	s.states[0].profile = profile
+	s.typ[0] = profile.Type
 	return s
 }
 
@@ -26,7 +27,7 @@ func TestAdjustRegularShiftsMedian(t *testing.T) {
 	// Online WTs drift to ~120: after AdjustMinWTs samples the predictive
 	// value blends to (60+120)/2 = 90.
 	for i := 0; i < s.cfg.AdjustMinWTs; i++ {
-		s.recordOnlineWT(0, st, 120)
+		s.recordOnlineWT(0, 120)
 	}
 	if got := st.profile.Values[0]; got != 90 {
 		t.Errorf("adjusted value = %d, want 90", got)
@@ -43,7 +44,7 @@ func TestAdjustRegularIgnoresSmallDrift(t *testing.T) {
 	st := &s.states[0]
 	// Drift of 3 < std 5: no adjustment.
 	for i := 0; i < s.cfg.AdjustMinWTs; i++ {
-		s.recordOnlineWT(0, st, 63)
+		s.recordOnlineWT(0, 63)
 	}
 	if got := st.profile.Values[0]; got != 60 {
 		t.Errorf("value = %d, want unchanged 60", got)
@@ -58,7 +59,7 @@ func TestAdjustDenseRange(t *testing.T) {
 	// Online gaps around 9-11: range blends toward the new behaviour.
 	wts := []int{9, 10, 11, 10, 9, 10, 11}
 	for _, wt := range wts {
-		s.recordOnlineWT(0, st, wt)
+		s.recordOnlineWT(0, wt)
 	}
 	if st.profile.RangeLo <= 1 && st.profile.RangeHi <= 3 {
 		t.Errorf("range not adjusted: [%d, %d]", st.profile.RangeLo, st.profile.RangeHi)
@@ -74,14 +75,14 @@ func TestPromoteUnknownRequiresRepeats(t *testing.T) {
 	// Distinct WTs: no promotion.
 	for i, wt := range []int{10, 25, 47, 81, 133} {
 		_ = i
-		s.recordOnlineWT(0, st, wt)
+		s.recordOnlineWT(0, wt)
 	}
 	if st.profile.Type != classify.TypeUnknown {
 		t.Fatalf("promoted on distinct WTs: %v", st.profile.Type)
 	}
 	// Repeats appear: promotion to newly-possible with those values.
 	for i := 0; i < s.cfg.AdjustMinWTs; i++ {
-		s.recordOnlineWT(0, st, 50)
+		s.recordOnlineWT(0, 50)
 	}
 	if st.profile.Type != classify.TypeNewlyPossible {
 		t.Fatalf("not promoted: %v", st.profile.Type)
@@ -106,8 +107,9 @@ func TestRecordOnlineWTDisabled(t *testing.T) {
 	s.Train(tr)
 	st := &s.states[0]
 	st.profile = classify.Profile{Type: classify.TypeUnknown}
+	s.typ[0] = classify.TypeUnknown
 	for i := 0; i < 20; i++ {
-		s.recordOnlineWT(0, st, 50)
+		s.recordOnlineWT(0, 50)
 	}
 	if st.profile.Type != classify.TypeUnknown {
 		t.Error("adjusting ran despite DisableAdjusting")
@@ -121,7 +123,7 @@ func TestOnlineWTHistoryBounded(t *testing.T) {
 	s := trainedSPES(classify.Profile{Type: classify.TypeUnknown})
 	st := &s.states[0]
 	for i := 0; i < 3*maxOnlineWTs; i++ {
-		s.recordOnlineWT(0, st, 10000+i) // all distinct: never promoted
+		s.recordOnlineWT(0, 10000+i) // all distinct: never promoted
 	}
 	if len(st.onlineWTs) > maxOnlineWTs {
 		t.Errorf("online WT history = %d, want <= %d", len(st.onlineWTs), maxOnlineWTs)
@@ -137,7 +139,7 @@ func TestApproRegularAdjustBlendsModes(t *testing.T) {
 	})
 	st := &s.states[0]
 	for i := 0; i < s.cfg.AdjustMinWTs; i++ {
-		s.recordOnlineWT(0, st, 30)
+		s.recordOnlineWT(0, 30)
 	}
 	// New mode 30 blends rank-by-rank: (10+30)/2 = 20 for the first value.
 	if st.profile.Values[0] != 20 {

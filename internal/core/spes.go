@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/classify"
 	"repro/internal/predict"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -14,37 +15,18 @@ const maxOnlineWTs = 64
 // (rare: long regular periods) go to the overflow map.
 const wheelSpan = 2048
 
-// funcState is the FState record of Algorithm 1 for one function.
+// funcState holds the cold per-function state of Algorithm 1's FState
+// record: the categorization profile and the adjusting strategy's online-WT
+// history. The fields the Tick hot paths touch every slot — lastInvoked,
+// eventSlot, seq, loaded, the cached type, preloadUntil, wtOff — live in
+// SPES's parallel arrays (structure-of-arrays layout) instead, so draining a
+// wheel bucket or replaying an invocation list walks tightly packed arrays
+// rather than striding over this ~15-word record per function.
 type funcState struct {
 	profile classify.Profile
 
-	lastInvoked int  // slot of the most recent invocation (sim timeline; may be negative from training)
 	currentWT   int  // idle slots since the last invocation (maintained by the dense reference loop only)
-	loaded      bool // in MemSet
 	everTrained bool // invoked at least once in the training window
-
-	// preloadUntil holds the last slot (inclusive) through which an
-	// indicator-driven pre-load (correlated links or online correlation)
-	// keeps the function warm; -1 when inactive.
-	preloadUntil int
-
-	// wtOff corrects the lazy waiting-time formula wt(t) = t - lastInvoked +
-	// wtOff used by the event-driven loop: 1 while the function has never
-	// been invoked (training included), 0 afterwards. The dense loop's
-	// incremental currentWT encodes the same off-by-one implicitly.
-	wtOff int32
-
-	// seq is the event-queue generation: a wheel event fires only if its
-	// recorded seq still matches, so a deadline that moved earlier is
-	// abandoned in place instead of searched for in the wheel.
-	seq uint32
-
-	// eventSlot is the slot of the function's single outstanding wheel
-	// event, or -1 when none is pending. The scheduling invariant is that
-	// eventSlot never exceeds the function's true next transition slot:
-	// an event may fire early (the idle step re-evaluates the exact dense
-	// predicate, so early fires are no-ops that reschedule), never late.
-	eventSlot int32
 
 	// onlineWTs are the last maxOnlineWTs waiting times observed during
 	// simulation (S1 of the adjusting strategy), stored as a ring once full:
@@ -73,13 +55,24 @@ type listener struct {
 }
 
 // SPES is the differentiated provision policy. It implements sim.Policy,
-// sim.TypeTagger and sim.LoadDeltaTracker.
+// sim.TypeTagger, sim.LoadDeltaTracker and sim.ShardedPolicy.
 type SPES struct {
 	cfg  Config
 	pred *predict.Predictor
 
 	meta   []trace.Function
-	states []funcState
+	states []funcState // cold per-function state (profiles, online-WT history)
+
+	// Hot per-function state in structure-of-arrays layout, all indexed by
+	// FuncID. Tick's inner loops (invocation replay, wheel drain, deadline
+	// math) touch only these arrays, cutting cache misses at large n:
+	lastInvoked  []int32         // slot of the most recent invocation (sim timeline; negative from training)
+	eventSlot    []int32         // slot of the single outstanding wheel event, -1 when none
+	seq          []uint32        // event-queue generation for lazy invalidation
+	loaded       []bool          // in MemSet
+	typ          []classify.Type // cached profile.Type (kept in sync on promotion/adjustment)
+	preloadUntil []int32         // last slot (inclusive) of an indicator-driven pre-load, -1 inactive
+	wtOff        []int8          // lazy-WT off-by-one: 1 until first-ever invocation, 0 afterwards
 
 	// listeners maps a candidate function to the correlated targets it
 	// pre-loads (offline links, reversed), densely indexed by FuncID.
@@ -125,6 +118,14 @@ func New(cfg Config) *SPES {
 // Name implements sim.Policy.
 func (s *SPES) Name() string { return "SPES" }
 
+// NewShard implements sim.ShardedPolicy: a fresh untrained instance with the
+// same configuration, to be trained and ticked over one population shard.
+// SPES keeps no state that crosses app/user boundaries (offline links and
+// online correlation only couple functions sharing an application or user),
+// so per-shard instances over a correlation-closed partition reproduce the
+// global instance's decisions exactly.
+func (s *SPES) NewShard() sim.Policy { return New(s.cfg) }
+
 // Train runs the offline phase: categorize every function from its training
 // history, build the correlated-link reverse index, seed per-function state
 // (last invocation, current WT) so predictions straddle the train/sim
@@ -135,6 +136,13 @@ func (s *SPES) Train(training *trace.Trace) {
 	s.trainSlots = training.Slots
 	s.states = make([]funcState, n)
 	s.listeners = make([][]listener, n)
+	s.lastInvoked = make([]int32, n)
+	s.eventSlot = make([]int32, n)
+	s.seq = make([]uint32, n)
+	s.loaded = make([]bool, n)
+	s.typ = make([]classify.Type, n)
+	s.preloadUntil = make([]int32, n)
+	s.wtOff = make([]int8, n)
 	for typ := classify.Type(0); typ < classify.NumTypes; typ++ {
 		s.thetaGivenupByType[typ] = s.cfg.Classify.ThetaGivenup(typ)
 	}
@@ -145,20 +153,21 @@ func (s *SPES) Train(training *trace.Trace) {
 	for fid := 0; fid < n; fid++ {
 		st := &s.states[fid]
 		st.profile = outcome.Profiles[fid]
-		st.preloadUntil = -1
-		st.eventSlot = -1
+		s.typ[fid] = st.profile.Type
+		s.preloadUntil[fid] = -1
+		s.eventSlot[fid] = -1
 		last := training.Series[fid].LastSlot()
 		if last >= 0 {
 			st.everTrained = true
 			// Rebase onto the simulation timeline, where slot 0 is the
 			// first simulated minute: a last training invocation at
 			// trainSlots-1 becomes -1.
-			st.lastInvoked = int(last) - training.Slots
-			st.currentWT = -st.lastInvoked - 1
+			s.lastInvoked[fid] = last - int32(training.Slots)
+			st.currentWT = -int(s.lastInvoked[fid]) - 1
 		} else {
-			st.lastInvoked = -training.Slots
+			s.lastInvoked[fid] = int32(-training.Slots)
 			st.currentWT = training.Slots
-			st.wtOff = 1
+			s.wtOff[fid] = 1
 		}
 		for _, l := range st.profile.Links {
 			cand := trace.FuncID(l.Cand)
@@ -173,8 +182,8 @@ func (s *SPES) Train(training *trace.Trace) {
 		if st.everTrained &&
 			(st.profile.Type == classify.TypeAlwaysWarm ||
 				st.currentWT < s.thetaGivenup(st.profile.Type) ||
-				s.shouldPreload(trace.FuncID(fid), st, 0)) {
-			s.load(trace.FuncID(fid), st)
+				s.shouldPreload(trace.FuncID(fid), 0)) {
+			s.load(trace.FuncID(fid))
 		}
 	}
 
@@ -191,13 +200,13 @@ func (s *SPES) Train(training *trace.Trace) {
 		s.wheel = newWheel(wheelSpan)
 		s.lastTick = -1
 		for fid := range s.states {
-			s.ensureWake(trace.FuncID(fid), &s.states[fid], -1)
+			s.ensureWake(trace.FuncID(fid), -1)
 		}
 	}
 }
 
 // Loaded implements sim.Policy.
-func (s *SPES) Loaded(f trace.FuncID) bool { return s.states[f].loaded }
+func (s *SPES) Loaded(f trace.FuncID) bool { return s.loaded[f] }
 
 // LoadedCount implements sim.Policy.
 func (s *SPES) LoadedCount() int { return s.loadedCount }
@@ -218,17 +227,17 @@ func (s *SPES) TypeOf(f trace.FuncID) string { return s.states[f].profile.Type.S
 func (s *SPES) Profile(f trace.FuncID) classify.Profile { return s.states[f].profile }
 
 // load and unload keep loadedCount and the delta log in sync.
-func (s *SPES) load(fid trace.FuncID, st *funcState) {
-	if !st.loaded {
-		st.loaded = true
+func (s *SPES) load(fid trace.FuncID) {
+	if !s.loaded[fid] {
+		s.loaded[fid] = true
 		s.loadedCount++
 		s.deltas = append(s.deltas, fid)
 	}
 }
 
-func (s *SPES) unload(fid trace.FuncID, st *funcState) {
-	if st.loaded {
-		st.loaded = false
+func (s *SPES) unload(fid trace.FuncID) {
+	if s.loaded[fid] {
+		s.loaded[fid] = false
 		s.loadedCount--
 		s.deltas = append(s.deltas, fid)
 	}
@@ -257,15 +266,16 @@ func (s *SPES) Tick(t int, invs []trace.FuncCount) {
 	// dense loop's currentWT is t - lastInvoked - 1 here), reset, adapt,
 	// load, and invalidate any pending deadline.
 	for _, fc := range invs {
-		st := &s.states[fc.Func]
-		if wt := t - st.lastInvoked - 1; wt > 0 && st.lastInvoked > -s.trainSlots {
-			s.recordOnlineWT(fc.Func, st, wt)
+		fid := fc.Func
+		last := int(s.lastInvoked[fid])
+		if wt := t - last - 1; wt > 0 && last > -s.trainSlots {
+			s.recordOnlineWT(fid, wt)
 		}
-		st.lastInvoked = t
-		st.wtOff = 0
-		st.preloadUntil = -1
-		s.load(fc.Func, st)
-		s.ensureWake(fc.Func, st, t)
+		s.lastInvoked[fid] = int32(t)
+		s.wtOff[fid] = 0
+		s.preloadUntil[fid] = -1
+		s.load(fid)
+		s.ensureWake(fid, t)
 	}
 
 	// Lines 13-20 for the functions whose deadline is t: the idle step is
@@ -292,34 +302,35 @@ func (s *SPES) tickDense(t int, invs []trace.FuncCount) {
 	// functions. invs is FuncID-ascending, so walk it in lockstep instead
 	// of building a set.
 	next := 0
-	for fid := range s.states {
-		st := &s.states[fid]
+	for i := range s.states {
+		fid := trace.FuncID(i)
+		st := &s.states[i]
 		invokedNow := false
-		if next < len(invs) && int(invs[next].Func) == fid {
+		if next < len(invs) && invs[next].Func == fid {
 			invokedNow = true
 			next++
 		}
 
 		if invokedNow {
 			// Lines 3-12: record the finished WT, reset, adapt, load.
-			if st.currentWT > 0 && st.lastInvoked > -s.trainSlots {
-				s.recordOnlineWT(trace.FuncID(fid), st, st.currentWT)
+			if st.currentWT > 0 && int(s.lastInvoked[fid]) > -s.trainSlots {
+				s.recordOnlineWT(fid, st.currentWT)
 			}
-			st.lastInvoked = t
+			s.lastInvoked[fid] = int32(t)
 			st.currentWT = 0
-			st.wtOff = 0
-			st.preloadUntil = -1
-			s.load(trace.FuncID(fid), st)
+			s.wtOff[fid] = 0
+			s.preloadUntil[fid] = -1
+			s.load(fid)
 			continue
 		}
 
 		// Lines 13-20: idle bookkeeping, pre-load or evict.
 		st.currentWT++
-		preload := s.shouldPreload(trace.FuncID(fid), st, t)
+		preload := s.shouldPreload(fid, t)
 		if preload {
-			s.load(trace.FuncID(fid), st)
-		} else if st.loaded && st.currentWT >= s.thetaGivenup(st.profile.Type) {
-			s.unload(trace.FuncID(fid), st)
+			s.load(fid)
+		} else if s.loaded[fid] && st.currentWT >= s.thetaGivenup(s.typ[fid]) {
+			s.unload(fid)
 		}
 	}
 
@@ -338,12 +349,12 @@ func (s *SPES) tickDense(t int, invs []trace.FuncCount) {
 // drainSlot fires the still-valid deadlines scheduled at slot t.
 func (s *SPES) drainSlot(t int) {
 	s.wheel.drain(t, func(ev wheelEvent) {
-		st := &s.states[ev.fid]
-		if st.seq != ev.seq {
+		fid := trace.FuncID(ev.fid)
+		if s.seq[fid] != ev.seq {
 			return // abandoned: the deadline moved earlier and was rescheduled
 		}
-		st.eventSlot = -1
-		s.idleStep(trace.FuncID(ev.fid), st, t)
+		s.eventSlot[fid] = -1
+		s.idleStep(fid, t)
 	})
 }
 
@@ -353,21 +364,23 @@ func (s *SPES) drainSlot(t int) {
 // window enumeration (PrewarmWindowScan) instead of separate ShouldPrewarm /
 // NextPrewarmOn / NextPrewarmOff passes — this path runs once per active
 // function per slot and dominates the drain cost.
-func (s *SPES) idleStep(fid trace.FuncID, st *funcState, t int) {
-	switch st.profile.Type {
+func (s *SPES) idleStep(fid trace.FuncID, t int) {
+	switch s.typ[fid] {
 	case classify.TypeRegular, classify.TypeApproRegular, classify.TypeDense,
 		classify.TypePossible, classify.TypeNewlyPossible:
+		profile := &s.states[fid].profile
 		theta := s.cfg.Classify.ThetaPrewarm
-		off, on := s.pred.PrewarmWindowScan(&st.profile, st.lastInvoked, t, theta)
+		lastInv := int(s.lastInvoked[fid])
+		off, on := s.pred.PrewarmWindowScan(profile, lastInv, t, theta)
 		covered := off > t // ShouldPrewarm(t)
-		if covered || t <= st.preloadUntil {
-			s.load(fid, st)
-		} else if st.loaded && t-st.lastInvoked+int(st.wtOff) >= s.thetaGivenup(st.profile.Type) {
-			s.unload(fid, st)
+		if covered || t <= int(s.preloadUntil[fid]) {
+			s.load(fid)
+		} else if s.loaded[fid] && t-lastInv+int(s.wtOff[fid]) >= s.thetaGivenup(s.typ[fid]) {
+			s.unload(fid)
 		}
 		var next int
-		if st.loaded {
-			floor := s.evictionFloor(st, t)
+		if s.loaded[fid] {
+			floor := s.evictionFloor(fid, t)
 			switch {
 			case floor != t+1:
 				next = floor
@@ -378,21 +391,21 @@ func (s *SPES) idleStep(fid trace.FuncID, st *funcState, t int) {
 			case on == t+1:
 				// A window opening right at the floor keeps the function
 				// warm; chase its end (rare).
-				next = s.pred.NextPrewarmOff(&st.profile, st.lastInvoked, t+1, theta)
+				next = s.pred.NextPrewarmOff(profile, lastInv, t+1, theta)
 			default:
 				next = floor
 			}
 		} else {
 			next = on // NextPrewarmOn(t+1)
 		}
-		s.scheduleWake(fid, st, t, next)
+		s.scheduleWake(fid, t, next)
 	default:
-		if s.shouldPreload(fid, st, t) {
-			s.load(fid, st)
-		} else if st.loaded && t-st.lastInvoked+int(st.wtOff) >= s.thetaGivenup(st.profile.Type) {
-			s.unload(fid, st)
+		if s.shouldPreload(fid, t) {
+			s.load(fid)
+		} else if s.loaded[fid] && t-int(s.lastInvoked[fid])+int(s.wtOff[fid]) >= s.thetaGivenup(s.typ[fid]) {
+			s.unload(fid)
 		}
-		s.ensureWake(fid, st, t)
+		s.ensureWake(fid, t)
 	}
 }
 
@@ -401,13 +414,12 @@ func (s *SPES) idleStep(fid trace.FuncID, st *funcState, t int) {
 // under the event-driven engine. Both engines and the online-correlation
 // strategy funnel through here.
 func (s *SPES) preloadThrough(fid trace.FuncID, t, until int) {
-	st := &s.states[fid]
-	if until > st.preloadUntil {
-		st.preloadUntil = until
+	if int32(until) > s.preloadUntil[fid] {
+		s.preloadUntil[fid] = int32(until)
 	}
-	s.load(fid, st)
+	s.load(fid)
 	if s.wheel != nil {
-		s.ensureWake(fid, st, t)
+		s.ensureWake(fid, t)
 	}
 }
 
@@ -418,40 +430,41 @@ func (s *SPES) preloadThrough(fid trace.FuncID, t, until int) {
 // the hot path (an invocation extending a resident function's deadline)
 // costs no wheel operations at all. Only a deadline that moved earlier
 // abandons the pending event (seq bump) and schedules anew.
-func (s *SPES) ensureWake(fid trace.FuncID, st *funcState, t int) {
+func (s *SPES) ensureWake(fid trace.FuncID, t int) {
 	// Fast path: the next transition can never be earlier than t+1, so a
 	// pending event at or before t+1 already satisfies the never-late
 	// invariant — skip the deadline math entirely. This is the common case
 	// for busy functions, whose eviction floor sits one slot ahead of every
 	// invocation.
-	if st.eventSlot >= 0 && int(st.eventSlot) <= t+1 {
+	if ev := s.eventSlot[fid]; ev >= 0 && int(ev) <= t+1 {
 		return
 	}
 	// Inlined nextWake with one extra short-circuit: for loaded functions
 	// every candidate deadline is at or past the eviction floor, so a
 	// pending event at or before the floor (cheap to compute — no window
 	// enumeration) is always kept, sparing the predictor scan.
-	switch st.profile.Type {
+	switch s.typ[fid] {
 	case classify.TypeAlwaysWarm:
-		if !st.loaded {
-			s.scheduleWake(fid, st, t, t+1)
+		if !s.loaded[fid] {
+			s.scheduleWake(fid, t, t+1)
 		}
 		return
 	case classify.TypeCorrelated, classify.TypeSuccessive, classify.TypePulsed,
 		classify.TypeUnknown:
-		if !st.loaded {
+		if !s.loaded[fid] {
 			return
 		}
-		s.scheduleWake(fid, st, t, s.evictionFloor(st, t))
+		s.scheduleWake(fid, t, s.evictionFloor(fid, t))
 	default:
 		theta := s.cfg.Classify.ThetaPrewarm
-		if !st.loaded {
-			s.scheduleWake(fid, st, t,
-				s.pred.NextPrewarmOn(&st.profile, st.lastInvoked, t+1, theta))
+		profile := &s.states[fid].profile
+		if !s.loaded[fid] {
+			s.scheduleWake(fid, t,
+				s.pred.NextPrewarmOn(profile, int(s.lastInvoked[fid]), t+1, theta))
 			return
 		}
-		floor := s.evictionFloor(st, t)
-		if st.eventSlot >= 0 && int(st.eventSlot) <= floor {
+		floor := s.evictionFloor(fid, t)
+		if ev := s.eventSlot[fid]; ev >= 0 && int(ev) <= floor {
 			return
 		}
 		next := floor
@@ -459,27 +472,27 @@ func (s *SPES) ensureWake(fid trace.FuncID, st *funcState, t int) {
 			// NextPrewarmOff(floor) returns floor itself when no window
 			// covers it, so this one call answers both "is a pre-warm window
 			// holding the function warm at the floor?" and "until when?".
-			next = s.pred.NextPrewarmOff(&st.profile, st.lastInvoked, floor, theta)
+			next = s.pred.NextPrewarmOff(profile, int(s.lastInvoked[fid]), floor, theta)
 		}
-		s.scheduleWake(fid, st, t, next)
+		s.scheduleWake(fid, t, next)
 	}
 }
 
 // scheduleWake arms fid's single outstanding wheel event for slot next
 // (no-op when next is -1 or a pending event already fires at or before it).
-func (s *SPES) scheduleWake(fid trace.FuncID, st *funcState, t, next int) {
+func (s *SPES) scheduleWake(fid trace.FuncID, t, next int) {
 	if next < 0 {
 		// No future self-transition; any pending event fires as a no-op.
 		return
 	}
-	if st.eventSlot >= 0 && int(st.eventSlot) <= next {
-		return
+	if ev := s.eventSlot[fid]; ev >= 0 {
+		if int(ev) <= next {
+			return
+		}
+		s.seq[fid]++
 	}
-	if st.eventSlot >= 0 {
-		st.seq++
-	}
-	st.eventSlot = int32(next)
-	s.wheel.schedule(t, next, wheelEvent{fid: int32(fid), seq: st.seq})
+	s.eventSlot[fid] = int32(next)
+	s.wheel.schedule(t, next, wheelEvent{fid: int32(fid), seq: s.seq[fid]})
 }
 
 // The deadline invariants ensureWake and idleStep rely on:
@@ -499,9 +512,9 @@ func (s *SPES) scheduleWake(fid trace.FuncID, st *funcState, t, next int) {
 // evictionFloor returns the first slot after t at which the idle patience
 // has run out and no indicator pre-load is active — the earliest slot the
 // dense loop could evict the function, ignoring pre-warm windows.
-func (s *SPES) evictionFloor(st *funcState, t int) int {
-	tau := st.lastInvoked + s.thetaGivenup(st.profile.Type) - int(st.wtOff)
-	if p := st.preloadUntil + 1; p > tau {
+func (s *SPES) evictionFloor(fid trace.FuncID, t int) int {
+	tau := int(s.lastInvoked[fid]) + s.thetaGivenup(s.typ[fid]) - int(s.wtOff[fid])
+	if p := int(s.preloadUntil[fid]) + 1; p > tau {
 		tau = p
 	}
 	if tau <= t {
@@ -511,23 +524,24 @@ func (s *SPES) evictionFloor(st *funcState, t int) int {
 }
 
 // shouldPreload evaluates line 15's pre_load flag for an idle function.
-func (s *SPES) shouldPreload(fid trace.FuncID, st *funcState, t int) bool {
-	switch st.profile.Type {
+func (s *SPES) shouldPreload(fid trace.FuncID, t int) bool {
+	switch s.typ[fid] {
 	case classify.TypeAlwaysWarm:
 		// Undoubtedly always loaded.
 		return true
 	case classify.TypeCorrelated:
-		return t <= st.preloadUntil
+		return t <= int(s.preloadUntil[fid])
 	case classify.TypeSuccessive, classify.TypePulsed:
 		// Tolerate the first cold start of a wave; never predict-preload.
-		return t <= st.preloadUntil // preloadUntil is -1 unless online corr touched it
+		return t <= int(s.preloadUntil[fid]) // preloadUntil is -1 unless online corr touched it
 	case classify.TypeUnknown:
-		return t <= st.preloadUntil // online correlation may pre-load unseen functions
+		return t <= int(s.preloadUntil[fid]) // online correlation may pre-load unseen functions
 	default:
-		if t <= st.preloadUntil {
+		if t <= int(s.preloadUntil[fid]) {
 			return true
 		}
-		return s.pred.ShouldPrewarm(&st.profile, st.lastInvoked, t, s.cfg.Classify.ThetaPrewarm)
+		return s.pred.ShouldPrewarm(&s.states[fid].profile, int(s.lastInvoked[fid]), t,
+			s.cfg.Classify.ThetaPrewarm)
 	}
 }
 

@@ -81,14 +81,21 @@ func RunComparison(s Settings, train, simTr *trace.Trace) (*Comparison, error) {
 	return &Comparison{Settings: s, SPES: spesRes, Results: results, SimTrace: simTr}, nil
 }
 
-// cached comparison, keyed by settings, so the per-figure runners invoked
-// from one binary share the expensive simulation.
-var comparisonCache = map[Settings]*Comparison{}
+// cached comparison, keyed by the settings' rendered fields (Settings
+// itself holds a slice and cannot be a map key), so the per-figure runners
+// invoked from one binary share the expensive simulation.
+var comparisonCache = map[string]*Comparison{}
+
+// cacheKey renders every settings field that influences a comparison.
+func (s Settings) cacheKey() string {
+	return fmt.Sprintf("%d/%d/%d/%d/%+v/%v",
+		s.Functions, s.Days, s.TrainDays, s.Seed, s.SPES, s.TriggerMix)
+}
 
 // SharedComparison returns a cached comparison for the settings, running it
 // on first use.
 func SharedComparison(s Settings, w io.Writer) (*Comparison, error) {
-	if c, ok := comparisonCache[s]; ok {
+	if c, ok := comparisonCache[s.cacheKey()]; ok {
 		return c, nil
 	}
 	fmt.Fprintf(w, "building workload: %d functions, %d days (%d train)...\n",
@@ -102,6 +109,6 @@ func SharedComparison(s Settings, w io.Writer) (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	comparisonCache[s] = c
+	comparisonCache[s.cacheKey()] = c
 	return c, nil
 }

@@ -20,6 +20,11 @@ type Settings struct {
 	TrainDays int
 	Seed      int64
 	SPES      core.Config
+
+	// TriggerMix, when non-nil, overrides the generator's trigger
+	// distribution (e.g. trace.SparseTriggerMix for the mostly-idle
+	// large-n populations of the scale experiments).
+	TriggerMix []float64
 }
 
 // DefaultSettings returns a laptop-scale default: the full 14-day horizon
@@ -62,10 +67,27 @@ func BuildWorkload(s Settings) (full, train, simTr *trace.Trace, err error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
-	full, err = trace.Generate(trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed))
+	cfg := trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed)
+	cfg.TriggerMix = s.TriggerMix
+	full, err = trace.Generate(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	train, simTr = full.Split(s.TrainDays * 1440)
 	return full, train, simTr, nil
+}
+
+// SparseSettings returns the scale-experiment configuration: n mostly-idle
+// functions (trace.SparseTriggerMix) over 8 days with 6 for training, the
+// population shape where event-driven O(active) scheduling and sharding
+// separate from dense scans by orders of magnitude.
+func SparseSettings(n int, seed int64) Settings {
+	return Settings{
+		Functions:  n,
+		Days:       8,
+		TrainDays:  6,
+		Seed:       seed,
+		SPES:       core.DefaultConfig(),
+		TriggerMix: trace.SparseTriggerMix(),
+	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -11,19 +12,107 @@ import (
 // Options tunes a simulation run.
 type Options struct {
 	// MeasureOverhead enables wall-clock timing of every Tick call. It is
-	// off by default because timing syscalls dominate small runs.
+	// off by default because timing syscalls dominate small runs. It also
+	// forces fully sequential execution everywhere (across policies in
+	// RunAll and across shards), since per-Tick timings taken while runs
+	// contend for cores would be meaningless.
 	MeasureOverhead bool
 
 	// Progress, when non-nil, is called every ProgressEvery slots with the
-	// current slot (for long CLI runs).
+	// current slot (for long CLI runs). Under sharded or concurrent
+	// execution the calls are serialized but observe the interleaved slot
+	// numbers of all concurrent runs.
 	Progress      func(slot int)
 	ProgressEvery int
+
+	// Shards splits the function population into that many app/user-closed
+	// shards (trace.PartitionFunctions) and simulates one policy instance
+	// per shard concurrently, merging the per-shard results into a Result
+	// bit-identical to the unsharded run. 0 or 1 selects the classic
+	// single-population engine. Shards > 1 requires the policy to implement
+	// ShardedPolicy.
+	Shards int
+
+	// Workers caps how many simulations (policy runs in RunAll, shard runs
+	// under Shards > 1 — the two share one budget) execute concurrently.
+	// 0 means one per available core.
+	Workers int
+
+	// pool is the shared worker budget. RunAll seeds it so that policies x
+	// shards never exceed Workers concurrent simulations; runSharded creates
+	// one for direct sharded Run calls. Tokens are only ever held by leaf
+	// simulation loops, never by coordinators, so the budget cannot
+	// deadlock.
+	pool chan struct{}
+
+	// shards is the partition and shard views shared across one RunAll
+	// invocation's policies, so P-way sharding of an n-function trace costs
+	// one partition and P slot indexes total instead of per policy.
+	shardSet *shardSet
+}
+
+// workers resolves the effective worker budget.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ShardedPolicy is implemented by policies that can run as one independent
+// instance per population shard. NewShard returns a fresh untrained instance
+// with the same configuration; the simulator trains and ticks it over a
+// single shard's trace view.
+//
+// A policy may implement this only if its decisions for a function depend on
+// nothing outside that function's app/user component (the partitioning
+// invariant of trace.PartitionFunctions): per-function timers and histograms
+// qualify, app- or user-scoped correlation qualifies, global capacity
+// limits (FaaSCache, LCS) do not — sharding would change their evictions.
+type ShardedPolicy interface {
+	NewShard() Policy
+}
+
+// shardSet carries one partition of a train/sim trace pair into shard
+// views. Views are safe to share across concurrent policy runs: series are
+// read-only and each view's memoized slot index is mutex-guarded.
+type shardSet struct {
+	sim   []*trace.ShardView
+	train []*trace.ShardView // nil when there is no training trace
+}
+
+// buildShardSet partitions the population once and materializes the P
+// train/sim shard views.
+func buildShardSet(training, simTrace *trace.Trace, p int) *shardSet {
+	part := trace.PartitionFunctions(simTrace.Functions, p)
+	ss := &shardSet{sim: make([]*trace.ShardView, p)}
+	if training != nil {
+		ss.train = make([]*trace.ShardView, p)
+	}
+	for i := 0; i < p; i++ {
+		ss.sim[i] = simTrace.ShardBy(part, i)
+		if training != nil {
+			ss.train[i] = training.ShardBy(part, i)
+		}
+	}
+	return ss
+}
+
+// slotLog records a shard run's per-slot post-Tick loaded and active-loaded
+// counts. The sharded merge re-derives the population-global per-slot
+// aggregates (memory, peak, idle, EMCR terms) from the sums of these
+// vectors, reproducing the unsharded engine's arithmetic exactly.
+type slotLog struct {
+	loaded []int32
+	active []int32
 }
 
 // Run trains the policy on training (which may be nil for policies without
 // an offline phase) and simulates it over simTrace, returning the metric
 // bundle the experiments read. The two traces must describe the same
-// function population (same FuncID space).
+// function population (same FuncID space). Options.Shards > 1 runs the
+// sharded engine instead: one policy instance per population shard,
+// concurrently, with a deterministic merge.
 func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
 	if simTrace == nil {
 		return nil, fmt.Errorf("sim: nil simulation trace")
@@ -31,6 +120,21 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 	if training != nil && training.NumFunctions() != simTrace.NumFunctions() {
 		return nil, fmt.Errorf("sim: training has %d functions, simulation %d",
 			training.NumFunctions(), simTrace.NumFunctions())
+	}
+	if opts.Shards > 1 {
+		return runSharded(policy, training, simTrace, opts)
+	}
+	return runOne(policy, training, simTrace, opts, nil)
+}
+
+// runOne is the single-population simulation loop. When log is non-nil the
+// per-slot (loaded, active) counts are recorded for the sharded merge. When
+// opts.pool is non-nil the whole run holds one worker token, bounding how
+// many simulations execute at once.
+func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *slotLog) (*Result, error) {
+	if opts.pool != nil {
+		opts.pool <- struct{}{}
+		defer func() { <-opts.pool }()
 	}
 	if training != nil {
 		policy.Train(training)
@@ -160,6 +264,10 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 				}
 			}
 		}
+		if log != nil {
+			log.loaded = append(log.loaded, int32(loadedCount))
+			log.active = append(log.active, int32(activeLoaded))
+		}
 		idle := loadedCount - activeLoaded
 		if idle < 0 {
 			// A policy evicting a function in the same slot it was invoked
@@ -209,16 +317,166 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 	return res, nil
 }
 
+// runSharded splits the population into opts.Shards app/user-closed shards,
+// simulates one fresh policy instance per shard (concurrently, bounded by
+// the worker budget), and merges the shard results.
+//
+// The merge is deterministic and bit-identical to the unsharded engine:
+//   - Per-function metrics and type labels are scattered back through each
+//     shard's local-to-global id mapping (disjoint slots, any order).
+//   - Integer totals (invocations, cold starts) are sums of integers.
+//   - The per-slot aggregates — memory, peak loaded, idle minutes, and the
+//     EMCR ratio terms — are NOT sums of per-shard aggregates (a ratio of
+//     sums is not a sum of ratios), so each shard records its per-slot
+//     loaded/active counts and the merge recomputes every slot's global
+//     values from the integer sums, applying the exact formulas (and float
+//     summation order: slot 0, 1, 2, ...) of the unsharded loop.
+func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
+	sp, ok := policy.(ShardedPolicy)
+	if !ok {
+		return nil, fmt.Errorf("sim: policy %s does not implement sim.ShardedPolicy; run it with Options.Shards <= 1", policy.Name())
+	}
+	p := opts.Shards
+	ss := opts.shardSet
+	if ss == nil {
+		ss = buildShardSet(training, simTrace, p)
+	}
+
+	inner := opts
+	inner.Shards = 0
+	if opts.Progress != nil {
+		var mu sync.Mutex
+		progress := opts.Progress
+		inner.Progress = func(slot int) {
+			mu.Lock()
+			defer mu.Unlock()
+			progress(slot)
+		}
+	}
+
+	results := make([]*Result, p)
+	logs := make([]*slotLog, p)
+	errs := make([]error, p)
+	runShard := func(i int) {
+		logs[i] = &slotLog{
+			loaded: make([]int32, 0, simTrace.Slots),
+			active: make([]int32, 0, simTrace.Slots),
+		}
+		var tr *trace.Trace
+		if ss.train != nil {
+			tr = ss.train[i].Trace
+		}
+		results[i], errs[i] = runOne(sp.NewShard(), tr, ss.sim[i].Trace, inner, logs[i])
+	}
+	if opts.MeasureOverhead {
+		// Sequential: per-Tick timings must not contend for cores. No pool
+		// tokens are in play (inner.pool stays nil on this path only if the
+		// caller did not seed one; a seeded pool is still honored by runOne,
+		// which is harmless when runs are sequential).
+		for i := 0; i < p; i++ {
+			runShard(i)
+		}
+	} else {
+		if inner.pool == nil {
+			inner.pool = make(chan struct{}, opts.workers())
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runShard(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard %d/%d: %w", i, p, err)
+		}
+	}
+
+	return mergeShardResults(policy.Name(), simTrace, ss.sim, results, logs), nil
+}
+
+// mergeShardResults folds per-shard results into the population-global
+// Result. See runSharded for the determinism argument.
+func mergeShardResults(name string, simTrace *trace.Trace, shards []*trace.ShardView, results []*Result, logs []*slotLog) *Result {
+	n := simTrace.NumFunctions()
+	res := &Result{
+		Policy:    name,
+		Slots:     simTrace.Slots,
+		Functions: n,
+		PerFunc:   make([]FuncMetrics, n),
+	}
+	allTyped := true
+	for i, sr := range results {
+		for li, g := range shards[i].Global {
+			res.PerFunc[g] = sr.PerFunc[li]
+		}
+		res.TotalInvocations += sr.TotalInvocations
+		res.TotalInvokedSlot += sr.TotalInvokedSlot
+		res.TotalColdStarts += sr.TotalColdStarts
+		res.Overhead += sr.Overhead
+		if sr.Types == nil {
+			allTyped = false
+		}
+	}
+	if allTyped && len(results) > 0 {
+		res.Types = make([]string, n)
+		for i, sr := range results {
+			for li, g := range shards[i].Global {
+				res.Types[g] = sr.Types[li]
+			}
+		}
+	}
+
+	// Per-slot global aggregates from the integer sums of the shard logs,
+	// in slot order — the same arithmetic, on the same values, in the same
+	// order as the unsharded loop's phase 3.
+	for t := 0; t < res.Slots; t++ {
+		loadedCount, activeLoaded := 0, 0
+		for _, lg := range logs {
+			loadedCount += int(lg.loaded[t])
+			activeLoaded += int(lg.active[t])
+		}
+		res.TotalMemory += int64(loadedCount)
+		if loadedCount > res.MaxLoaded {
+			res.MaxLoaded = loadedCount
+		}
+		idle := loadedCount - activeLoaded
+		if idle < 0 {
+			idle = 0
+		}
+		res.TotalWMT += int64(idle)
+		if loadedCount > 0 {
+			res.EMCRSum += float64(activeLoaded) / float64(loadedCount)
+			res.EMCRSlots++
+		}
+	}
+	return res
+}
+
 // RunAll simulates several policies over the same train/sim pair, returning
 // results in input order. Policy runs are independent (each policy owns its
 // state and the traces are only read), so they execute concurrently, one
 // goroutine per policy; errors report the first failing policy in input
-// order. A caller-supplied opts.Progress is serialized so callers need no
-// locking of their own, but it observes the policies' interleaved slot
-// numbers. MeasureOverhead runs the policies sequentially instead:
-// per-Tick wall-clock timings taken while policies contend for cores would
-// be meaningless.
+// order. Concurrency is bounded by one shared worker budget (Options.
+// Workers): with Options.Shards > 1, the policies' shard runs all draw from
+// the same budget, so policies x shards never oversubscribes the machine.
+// A caller-supplied opts.Progress is serialized so callers need no locking
+// of their own, but it observes the policies' interleaved slot numbers.
+// MeasureOverhead runs the policies (and their shards) fully sequentially
+// instead: per-Tick wall-clock timings taken while policies contend for
+// cores would be meaningless.
 func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([]*Result, error) {
+	if opts.Shards > 1 && simTrace != nil && opts.shardSet == nil &&
+		(training == nil || training.NumFunctions() == simTrace.NumFunctions()) {
+		// Partition once and share the shard views (and their memoized slot
+		// indexes) across all policies, mirroring how the unsharded path
+		// shares the one simTrace index.
+		opts.shardSet = buildShardSet(training, simTrace, opts.Shards)
+	}
 	if opts.MeasureOverhead {
 		results := make([]*Result, len(policies))
 		for i, p := range policies {
@@ -238,6 +496,9 @@ func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([
 			defer mu.Unlock()
 			progress(slot)
 		}
+	}
+	if opts.pool == nil {
+		opts.pool = make(chan struct{}, opts.workers())
 	}
 	results := make([]*Result, len(policies))
 	errs := make([]error, len(policies))

@@ -127,14 +127,52 @@ func archetypeMixFor(trig Trigger) []float64 {
 	return w
 }
 
+// SparseTriggerMix returns a trigger distribution dominated by the triggers
+// whose archetype mixes are mostly rare/bursty traffic, yielding the
+// mostly-idle large-n populations the scale tests and benchmarks exercise
+// (where O(active) vs O(n) engines separate by orders of magnitude).
+func SparseTriggerMix() []float64 {
+	return []float64{
+		TriggerHTTP:          0.30,
+		TriggerTimer:         0.02,
+		TriggerQueue:         0.03,
+		TriggerOrchestration: 0.03,
+		TriggerEvent:         0.27,
+		TriggerStorage:       0.30,
+		TriggerOthers:        0.03,
+		TriggerCombination:   0.02,
+	}
+}
+
 // Generate synthesizes a workload trace per cfg. The same config always
 // produces the same trace.
 func Generate(cfg GeneratorConfig) (*Trace, error) {
+	sh, err := GenerateShard(cfg, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Trace, nil
+}
+
+// GenerateShard synthesizes only shard i of p of the trace Generate(cfg)
+// would produce: exactly the functions Partition/ShardBy would place in
+// that shard, with bit-identical series, densely re-IDed, and the global
+// FuncID mapping filled in. The structural draws (user/app layout, trigger
+// assignment) are replayed for every function so the shard's RNG streams
+// match the full generation, but series are only synthesized — and only
+// held in memory — for the selected shard, so a 1M-function trace can be
+// produced one shard at a time without ever materializing the whole
+// population. The union of all p shards is Generate(cfg), function for
+// function.
+func GenerateShard(cfg GeneratorConfig, i, p int) (*ShardView, error) {
 	if cfg.Functions <= 0 {
 		return nil, fmt.Errorf("trace: config needs a positive function count, got %d", cfg.Functions)
 	}
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("trace: config needs a positive day count, got %d", cfg.Days)
+	}
+	if p <= 0 || i < 0 || i >= p {
+		return nil, fmt.Errorf("trace: shard %d of %d out of range", i, p)
 	}
 	mix := cfg.TriggerMix
 	if len(mix) == 0 {
@@ -152,13 +190,19 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 
 	slots := cfg.Days * 1440
 	g := stats.NewRNG(cfg.Seed)
-	tr := NewTrace(slots)
+	sh := &ShardView{Trace: NewTrace(slots), Index: i}
 
+	// Every generated user is one correlation component (apps are never
+	// shared across users), and users appear in first-function order, so the
+	// canonical partition assigns user u to shard u mod p — which is what
+	// shard-streamed generation relies on to select users up front.
 	userID := 0
 	appID := 0
+	nextGlobal := 0
 	remaining := cfg.Functions
 	for remaining > 0 {
 		user := fmt.Sprintf("user%05d", userID)
+		selected := userID%p == i
 		userID++
 		nApps := sampleSize(g, cfg.MeanAppsPerUser)
 		for a := 0; a < nApps && remaining > 0; a++ {
@@ -169,10 +213,16 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 				size = remaining
 			}
 			remaining -= size
-			generateApp(tr, g, cfg, mix, user, app, size)
+			if selected {
+				for k := 0; k < size; k++ {
+					sh.Global = append(sh.Global, FuncID(nextGlobal+k))
+				}
+			}
+			generateApp(sh.Trace, g, cfg, mix, user, app, size, selected)
+			nextGlobal += size
 		}
 	}
-	return tr, nil
+	return sh, nil
 }
 
 // sampleSize draws an application/user cardinality >= 1 with the given mean,
@@ -191,13 +241,20 @@ func sampleSize(g *stats.RNG, mean float64) int {
 }
 
 // generateApp emits one application's functions, possibly linked in a chain.
-func generateApp(tr *Trace, g *stats.RNG, cfg GeneratorConfig, mix []float64, user, app string, size int) {
+// When selected is false the app is structurally replayed but not emitted:
+// the main RNG stream advances by exactly the same draws (the per-function
+// series RNG is split off and discarded), so skipped apps leave selected
+// shards' series untouched.
+func generateApp(tr *Trace, g *stats.RNG, cfg GeneratorConfig, mix []float64, user, app string, size int, selected bool) {
 	chained := size >= 2 && g.Bool(cfg.ChainFraction)
 
 	var driverEvents []Event
 	for i := 0; i < size; i++ {
 		fg := g.Split()
 		trig := Trigger(g.WeightedChoice(mix))
+		if !selected {
+			continue // series draws all come from fg, which is discarded
+		}
 		name := fmt.Sprintf("%s-f%02d", app, i)
 
 		var events []Event

@@ -69,8 +69,20 @@ type (
 	Result = sim.Result
 	// FuncMetrics is one function's simulation outcome.
 	FuncMetrics = sim.FuncMetrics
-	// Options tunes a simulation run.
+	// Options tunes a simulation run. Options.Shards > 1 selects the
+	// sharded engine: the population is split into app/user-closed shards,
+	// one policy instance per shard runs concurrently, and the merged
+	// Result is bit-identical to the unsharded run.
 	Options = sim.Options
+	// ShardedPolicy is implemented by policies that can run one instance
+	// per population shard (SPES, FixedKeepAlive, both Hybrids, Defuse).
+	ShardedPolicy = sim.ShardedPolicy
+	// TraceShard is one shard of a workload: a self-contained Trace over a
+	// subset of functions plus the mapping back to global FuncIDs.
+	TraceShard = trace.ShardView
+	// TracePartition assigns every function to a shard, keeping functions
+	// that share an application or user together.
+	TracePartition = trace.Partition
 )
 
 // SPES configuration types.
@@ -105,6 +117,19 @@ func DefaultGeneratorConfig(n, days int, seed int64) GeneratorConfig {
 
 // GenerateTrace synthesizes an Azure-like workload.
 func GenerateTrace(cfg GeneratorConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// GenerateTraceShard synthesizes only shard i of p of GenerateTrace(cfg):
+// identical functions and series, produced one shard at a time, so traces
+// of 100k-1M functions never materialize the whole population at once.
+func GenerateTraceShard(cfg GeneratorConfig, i, p int) (*TraceShard, error) {
+	return trace.GenerateShard(cfg, i, p)
+}
+
+// PartitionTrace computes the canonical correlation-closed partition of a
+// workload's functions into p shards (apps and users stay whole).
+func PartitionTrace(tr *Trace, p int) *TracePartition {
+	return trace.PartitionFunctions(tr.Functions, p)
+}
 
 // NewTrace creates an empty workload spanning the given number of
 // one-minute slots; add functions with AddFunction.
