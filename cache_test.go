@@ -1,0 +1,172 @@
+// ShardCache tests: a cache hit must reproduce the miss's result bit for
+// bit, and invalidation must be exactly as fine-grained as the key — a
+// config change on one policy re-runs only that policy's shards.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// TestShardCacheHitReproducesMiss runs the same sharded simulation twice
+// through one cache: the first run misses every shard, the second hits
+// every shard, and both results — and an uncached reference — are
+// bit-identical.
+func TestShardCacheHitReproducesMiss(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	ref, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := sim.NewShardCache()
+	opts := sim.Options{Shards: shards, Cache: cache}
+	cold, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != shards || st.Entries != shards {
+		t.Fatalf("cold run stats = %+v, want 0 hits / %d misses / %d entries", st, shards, shards)
+	}
+	assertSameResult(t, "cold cached vs uncached", ref, cold)
+
+	warm, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != shards || st.Misses != shards {
+		t.Fatalf("warm run stats = %+v, want %d hits / %d misses", st, shards, shards)
+	}
+	assertSameResult(t, "warm hit vs cold miss", cold, warm)
+}
+
+// TestStreamedSweepMatchesMaterialized drives sim.NewStreamedSweep: a
+// theta sweep over a generator source must reproduce the materialized
+// unsharded runs bit for bit, and a second (warm) pass must be served
+// entirely from the cache — for a generator-backed source a hit is keyed
+// on the derivation, so the warm pass never generates a shard at all.
+func TestStreamedSweepMatchesMaterialized(t *testing.T) {
+	s := eqvSettings(13)
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	src, err := experiments.StreamSource(s, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := sim.NewStreamedSweep(src, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	thetas := []int{1, 2}
+	pass := func(label string) []*sim.Result {
+		var out []*sim.Result
+		for _, theta := range thetas {
+			cfg := core.DefaultConfig()
+			cfg.Classify.ThetaPrewarm = theta
+			res, err := sweep.Run(core.New(cfg))
+			if err != nil {
+				t.Fatalf("%s theta=%d: %v", label, theta, err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	cold := pass("cold")
+	for i, theta := range thetas {
+		cfg := core.DefaultConfig()
+		cfg.Classify.ThetaPrewarm = theta
+		ref, err := sim.Run(core.New(cfg), train, simTr, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("streamed sweep theta=%d vs materialized", theta), ref, cold[i])
+	}
+	if st := sweep.Cache().Stats(); st.Hits != 0 || st.Misses != int64(len(thetas)*shards) {
+		t.Fatalf("cold pass stats = %+v, want 0 hits / %d misses", st, len(thetas)*shards)
+	}
+	warm := pass("warm")
+	if st := sweep.Cache().Stats(); st.Hits != int64(len(thetas)*shards) {
+		t.Fatalf("warm pass stats = %+v, want %d hits", st, len(thetas)*shards)
+	}
+	for i := range cold {
+		assertSameResult(t, "warm streamed sweep point", cold[i], warm[i])
+	}
+}
+
+// TestShardCacheInvalidationIsPerPolicy shares one cache across a RunAll of
+// three policies, then changes only SPES's configuration: the second sweep
+// point must re-simulate exactly SPES's shards (misses) while both
+// baselines are served entirely from the cache (hits), with the baseline
+// results reproduced bit for bit.
+func TestShardCacheInvalidationIsPerPolicy(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	cache := sim.NewShardCache()
+	opts := sim.Options{Shards: shards, Cache: cache}
+
+	pack := func(cfg core.Config) []sim.Policy {
+		return []sim.Policy{
+			core.New(cfg),
+			baselines.NewFixedKeepAlive(10),
+			baselines.NewDefuse(baselines.DefaultDefuseConfig()),
+		}
+	}
+
+	first, err := sim.RunAll(pack(core.DefaultConfig()), train, simTr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 3*shards {
+		t.Fatalf("first point stats = %+v, want 0 hits / %d misses", st, 3*shards)
+	}
+
+	// The sweep moves: only SPES's config changes.
+	swept := core.DefaultConfig()
+	swept.Classify.ThetaPrewarm = 5
+	second, err := sim.RunAll(pack(swept), train, simTr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cache.Stats()
+	if hits := d.Hits - st.Hits; hits != 2*shards {
+		t.Errorf("second point hits = %d, want %d (both baselines cached)", hits, 2*shards)
+	}
+	if misses := d.Misses - st.Misses; misses != shards {
+		t.Errorf("second point misses = %d, want %d (only SPES re-runs)", misses, shards)
+	}
+	assertSameResult(t, "Fixed-10min across sweep points", first[1], second[1])
+	assertSameResult(t, "Defuse across sweep points", first[2], second[2])
+	if first[0].TotalMemory == second[0].TotalMemory && first[0].TotalColdStarts == second[0].TotalColdStarts {
+		t.Error("theta change produced an identical SPES result; the sweep point is degenerate")
+	}
+
+	// Returning to the original config must hit SPES's original entries.
+	third, err := sim.RunAll(pack(core.DefaultConfig()), train, simTr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cache.Stats()
+	if misses := f.Misses - d.Misses; misses != 0 {
+		t.Errorf("revisited point misses = %d, want 0", misses)
+	}
+	for i := range first {
+		assertSameResult(t, "revisited point "+first[i].Policy, first[i], third[i])
+	}
+}

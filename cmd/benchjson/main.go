@@ -8,9 +8,20 @@
 //
 // -sweep additionally runs an in-process full-simulation scale sweep over
 // comma-separated population sizes (sparse traffic, per shard count), the
-// regime where the sharded engine's near-linear core scaling shows:
+// regime where the sharded engine's near-linear core scaling shows. Every
+// sweep point samples the process heap (runtime.MemStats.HeapInuse, ~2ms
+// cadence) so the materialized-vs-streamed residency gap is recorded next
+// to the wall clock: shard counts > 1 run twice, once over materialized
+// traces and once streamed through sim.GeneratorSource, and each point
+// regenerates its own workload so generation residency is attributed to
+// the mode that pays it.
 //
-//	go run ./cmd/benchjson -out BENCH_2.json -sweep 600,10000,100000 -sweepShards 1,4
+// -cacheSweep runs a Figure-13a-style 5-point theta_prewarm sweep twice
+// through one sim.ShardCache — cold, then warm — recording both wall
+// times, the cache traffic, and a per-point equivalence check.
+//
+//	go run ./cmd/benchjson -out BENCH_3.json -sweep 600,10000,100000 \
+//	    -sweepShards 1,16 -cacheSweep 600,10000 -cacheShards 8
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"reflect"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -29,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/memwatch"
 	"repro/internal/sim"
 )
 
@@ -43,73 +56,197 @@ type Benchmark struct {
 
 // Snapshot is the file format of BENCH_<n>.json.
 type Snapshot struct {
-	Generated  time.Time    `json:"generated"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	CPU        string       `json:"cpu,omitempty"`
-	MaxProcs   int          `json:"maxprocs,omitempty"`
-	Bench      string       `json:"bench_regex"`
-	Benchtime  string       `json:"benchtime"`
-	Benchmarks []Benchmark  `json:"benchmarks"`
-	Sweep      []SweepPoint `json:"scale_sweep,omitempty"`
+	Generated  time.Time          `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPU        string             `json:"cpu,omitempty"`
+	MaxProcs   int                `json:"maxprocs,omitempty"`
+	Bench      string             `json:"bench_regex"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Sweep      []SweepPoint       `json:"scale_sweep,omitempty"`
+	CacheSweep []CacheSweepResult `json:"sweep_cache,omitempty"`
 }
 
 // SweepPoint is one full-simulation measurement of the scale sweep: SPES
 // trained and simulated end to end over a sparse synthetic population of
 // the given size, with the given shard count (1 = the classic unsharded
-// engine). The result fields are recorded so the sweep doubles as an
-// equivalence check — every shard count at the same scale must report the
-// same cold starts and WMT. Single-core caveat: with maxprocs=1 the shard
-// runs serialize, so shards>1 shows the sharding overhead floor rather
-// than a speedup; the near-linear scaling claim needs maxprocs >= shards.
+// engine). Mode distinguishes the materialized engine (workload generated
+// and split up front) from the streamed one (sim.GeneratorSource produces
+// each shard inside its worker; the trace pair never exists in full). The
+// result fields are recorded so the sweep doubles as an equivalence check —
+// every mode and shard count at the same scale must report the same cold
+// starts and WMT. Heap figures are HeapInuse sampled during the point
+// (peak) and after a post-run GC (live). Single-core caveat: with
+// maxprocs=1 the shard runs serialize, so shards>1 shows the sharding
+// overhead floor rather than a speedup; the near-linear scaling claim
+// needs maxprocs >= shards.
 type SweepPoint struct {
-	Functions  int     `json:"functions"`
-	Days       int     `json:"days"`
-	TrainDays  int     `json:"train_days"`
-	Seed       int64   `json:"seed"`
-	Shards     int     `json:"shards"`
-	GenerateMs float64 `json:"generate_ms"`
-	FullSimMs  float64 `json:"full_sim_ms"` // Train + simulate, wall clock
-	ColdStarts int64   `json:"cold_starts"`
-	WMT        int64   `json:"wmt"`
-	MaxLoaded  int     `json:"max_loaded"`
+	Functions      int     `json:"functions"`
+	Days           int     `json:"days"`
+	TrainDays      int     `json:"train_days"`
+	Seed           int64   `json:"seed"`
+	Shards         int     `json:"shards"`
+	Mode           string  `json:"mode"`
+	GenerateMs     float64 `json:"generate_ms,omitempty"` // materialized only; streamed generates inside FullSimMs
+	FullSimMs      float64 `json:"full_sim_ms"`           // train + simulate (streamed: + generation), wall clock
+	HeapPeakBytes  uint64  `json:"heap_peak_bytes"`
+	HeapAfterBytes uint64  `json:"heap_after_gc_bytes"`
+	ColdStarts     int64   `json:"cold_starts"`
+	WMT            int64   `json:"wmt"`
+	MaxLoaded      int     `json:"max_loaded"`
 }
 
-// runSweep executes the scale sweep in-process.
+// CacheSweepResult records one cold-vs-warm comparison of the incremental
+// sweep cache: the same 5-point theta_prewarm sweep run twice through one
+// sim.ShardCache over one workload. The warm pass re-runs nothing — every
+// (policy config, shard) key was seen by the cold pass — so WarmMs/ColdMs
+// is the sweep-cache win; ResultsMatch asserts the warm results were
+// bit-identical to the cold ones.
+type CacheSweepResult struct {
+	Functions    int     `json:"functions"`
+	Days         int     `json:"days"`
+	TrainDays    int     `json:"train_days"`
+	Seed         int64   `json:"seed"`
+	Shards       int     `json:"shards"`
+	Points       int     `json:"points"`
+	ColdMs       float64 `json:"cold_ms"`
+	WarmMs       float64 `json:"warm_ms"`
+	Hits         int64   `json:"cache_hits"`
+	Misses       int64   `json:"cache_misses"`
+	ResultsMatch bool    `json:"results_match"`
+}
+
+// runSweep executes the scale sweep in-process: per scale and shard count a
+// materialized point, plus a streamed point for shard counts > 1.
 func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, n := range scales {
 		s := experiments.SparseSettings(n, seed)
-		genStart := time.Now()
-		_, train, simTr, err := experiments.BuildWorkload(s)
-		if err != nil {
-			return nil, err
-		}
-		genMs := float64(time.Since(genStart).Microseconds()) / 1e3
 		for _, shards := range shardCounts {
-			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d...\n", n, shards)
+			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d materialized...\n", n, shards)
+			pt := SweepPoint{
+				Functions: n, Days: s.Days, TrainDays: s.TrainDays,
+				Seed: seed, Shards: shards, Mode: "materialized",
+			}
+			watch := memwatch.Watch()
+			genStart := time.Now()
+			_, train, simTr, err := experiments.BuildWorkload(s)
+			if err != nil {
+				return nil, err
+			}
+			pt.GenerateMs = msSince(genStart)
 			simStart := time.Now()
 			res, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
 				sim.Options{Shards: shards})
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, SweepPoint{
-				Functions:  n,
-				Days:       s.Days,
-				TrainDays:  s.TrainDays,
-				Seed:       seed,
-				Shards:     shards,
-				GenerateMs: genMs,
-				FullSimMs:  float64(time.Since(simStart).Microseconds()) / 1e3,
-				ColdStarts: res.TotalColdStarts,
-				WMT:        res.TotalWMT,
-				MaxLoaded:  res.MaxLoaded,
-			})
+			pt.FullSimMs = msSince(simStart)
+			pt.HeapPeakBytes, pt.HeapAfterBytes = watch.Finish()
+			pt.ColdStarts, pt.WMT, pt.MaxLoaded = res.TotalColdStarts, res.TotalWMT, res.MaxLoaded
+			// Drop the materialized workload so the streamed point's baseline
+			// GC (inside memwatch.Watch) can collect it: its residency must
+			// not pollute the streamed peak.
+			train, simTr, res = nil, nil, nil
+			_, _, _ = train, simTr, res
+			out = append(out, pt)
+
+			if shards <= 1 {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d streamed...\n", n, shards)
+			st := SweepPoint{
+				Functions: n, Days: s.Days, TrainDays: s.TrainDays,
+				Seed: seed, Shards: shards, Mode: "streamed",
+			}
+			src, err := experiments.StreamSource(s, shards)
+			if err != nil {
+				return nil, err
+			}
+			watch = memwatch.Watch()
+			simStart = time.Now()
+			sres, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			st.FullSimMs = msSince(simStart)
+			st.HeapPeakBytes, st.HeapAfterBytes = watch.Finish()
+			st.ColdStarts, st.WMT, st.MaxLoaded = sres.TotalColdStarts, sres.TotalWMT, sres.MaxLoaded
+			if st.ColdStarts != pt.ColdStarts || st.WMT != pt.WMT || st.MaxLoaded != pt.MaxLoaded {
+				return nil, fmt.Errorf("benchjson: streamed n=%d shards=%d diverged from materialized (cold %d/%d wmt %d/%d)",
+					n, shards, st.ColdStarts, pt.ColdStarts, st.WMT, pt.WMT)
+			}
+			out = append(out, st)
 		}
 	}
 	return out, nil
+}
+
+// runCacheSweep measures the incremental sweep cache: a 5-point
+// theta_prewarm sweep (the Figure 13a shape) cold, then warm, through one
+// cache.
+func runCacheSweep(scales []int, shards int, seed int64) ([]CacheSweepResult, error) {
+	thetas := []int{1, 2, 3, 5, 10}
+	var out []CacheSweepResult
+	for _, n := range scales {
+		s := experiments.SparseSettings(n, seed)
+		_, train, simTr, err := experiments.BuildWorkload(s)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := sim.NewSweep(train, simTr, sim.Options{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		pass := func() (float64, []*sim.Result, error) {
+			results := make([]*sim.Result, 0, len(thetas))
+			start := time.Now()
+			for _, theta := range thetas {
+				cfg := core.DefaultConfig()
+				cfg.Classify.ThetaPrewarm = theta
+				res, err := sweep.Run(core.New(cfg))
+				if err != nil {
+					return 0, nil, err
+				}
+				results = append(results, res)
+			}
+			return msSince(start), results, nil
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d cold...\n", n, shards)
+		coldMs, coldRes, err := pass()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d warm...\n", n, shards)
+		warmMs, warmRes, err := pass()
+		if err != nil {
+			return nil, err
+		}
+		// Full-result equivalence (every metric and per-function field;
+		// Overhead excluded as wall clock), not just headline scalars.
+		match := true
+		for i := range coldRes {
+			c, w := *coldRes[i], *warmRes[i]
+			c.Overhead, w.Overhead = 0, 0
+			if !reflect.DeepEqual(&c, &w) {
+				match = false
+			}
+		}
+		st := sweep.Cache().Stats()
+		out = append(out, CacheSweepResult{
+			Functions: n, Days: s.Days, TrainDays: s.TrainDays, Seed: seed,
+			Shards: shards, Points: len(thetas),
+			ColdMs: coldMs, WarmMs: warmMs,
+			Hits: st.Hits, Misses: st.Misses, ResultsMatch: match,
+		})
+	}
+	return out, nil
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1e3
 }
 
 // parseInts parses a comma-separated int list.
@@ -135,8 +272,10 @@ func main() {
 	bench := flag.String("bench", "Overhead|BenchmarkFullSimulation_SPES$", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
 	sweep := flag.String("sweep", "", "comma-separated population sizes for the full-simulation scale sweep (empty: skip)")
-	sweepShards := flag.String("sweepShards", "1,4", "comma-separated shard counts per sweep scale")
+	sweepShards := flag.String("sweepShards", "1,4", "comma-separated shard counts per sweep scale (counts > 1 also run streamed)")
 	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
+	cacheSweep := flag.String("cacheSweep", "", "comma-separated population sizes for the cold-vs-warm sweep-cache measurement (empty: skip)")
+	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
 	flag.Parse()
 
 	scales, err := parseInts(*sweep)
@@ -147,6 +286,11 @@ func main() {
 	shardCounts, err := parseInts(*sweepShards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: -sweepShards: %v\n", err)
+		os.Exit(1)
+	}
+	cacheScales, err := parseInts(*cacheSweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -cacheSweep: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -202,6 +346,13 @@ func main() {
 		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(cacheScales) > 0 {
+		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: cache sweep: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,11 +1,20 @@
 // Command eqvcheck is the CLI form of the engine-equivalence tests, at a
 // scale the unit suite does not run on every invocation: it simulates SPES
-// with the dense reference engine, the event-driven engine, and the sharded
-// engine over seeded workloads and exits non-zero on the first sim.Result
-// mismatch.
+// with the dense reference engine, the event-driven engine, the sharded
+// engine, and (with -stream) the streamed engine over seeded workloads and
+// exits non-zero on the first sim.Result mismatch.
 //
 //	go run ./cmd/eqvcheck                         # 400 functions, shards 4
-//	go run ./cmd/eqvcheck -functions 10000 -sparse -shards 8 -seeds 3
+//	go run ./cmd/eqvcheck -functions 10000 -sparse -shards 8 -seeds 3 -stream
+//
+// -streamonly is the memory-guard mode: it never materializes a trace —
+// only streamed engines run, at -shards and 2x -shards, compared against
+// each other — so peak residency stays O(n/shards) and -maxheap can bound
+// it. CI runs a 100k-function sparse population this way under GOMEMLIMIT;
+// a regression that materializes O(n) state trips the bound.
+//
+//	go run ./cmd/eqvcheck -streamonly -functions 100000 -sparse -shards 16 \
+//	    -seeds 1 -maxheap 268435456
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/memwatch"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -27,6 +37,10 @@ func main() {
 	shards := flag.Int("shards", 4, "shard count for the sharded engine (0 disables the sharded check)")
 	seeds := flag.Int("seeds", 3, "number of seeds to check")
 	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n regime)")
+	stream := flag.Bool("stream", false, "additionally check the streamed engine (sim.RunStreamed over a generator source) against the dense reference")
+	streamOnly := flag.Bool("streamonly", false, "check only streamed engines (-shards vs 2x -shards) without ever materializing a trace; peak residency stays O(functions/shards)")
+	maxHeap := flag.Uint64("maxheap", 0, "exit non-zero if sampled peak HeapInuse exceeds this many bytes (0: unbounded)")
+	workers := flag.Int("workers", 0, "concurrent shard-run cap (0: one per core); streamed residency is O(functions/shards) PER in-flight worker, so -maxheap bounds need a fixed worker count, not the runner's core count")
 	flag.Parse()
 
 	s := experiments.DefaultSettings()
@@ -36,6 +50,30 @@ func main() {
 	if *sparse {
 		s.TriggerMix = trace.SparseTriggerMix()
 	}
+
+	if *stream && *shards <= 1 {
+		fmt.Fprintln(os.Stderr, "eqvcheck: -stream needs -shards > 1 (a green run must actually exercise the streamed engine)")
+		os.Exit(1)
+	}
+
+	watch := memwatch.Watch()
+	if *streamOnly {
+		if *shards < 1 {
+			fmt.Fprintln(os.Stderr, "eqvcheck: -streamonly needs -shards >= 1")
+			os.Exit(1)
+		}
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			s.Seed = seed
+			a := runStreamed(s, *shards, *workers)
+			b := runStreamed(s, 2*(*shards), *workers)
+			compare(fmt.Sprintf("seed %d: streamed x%d vs x%d", seed, *shards, 2*(*shards)), a, b)
+			fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
+				seed, a.TotalColdStarts, a.TotalWMT, a.TotalMemory)
+		}
+		checkHeap(watch, *maxHeap)
+		return
+	}
+
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		s.Seed = seed
 		_, train, simTr, err := experiments.BuildWorkload(s)
@@ -61,26 +99,71 @@ func main() {
 			}
 			compare(fmt.Sprintf("seed %d: sharded x%d", seed, *shards), rd, rs)
 		}
+		if *stream {
+			compare(fmt.Sprintf("seed %d: streamed x%d", seed, *shards),
+				rd, runStreamed(s, *shards, *workers))
+			// Shard-cache check: a cold (all-miss) and a warm (all-hit)
+			// sharded run through one cache must both match the reference.
+			cache := sim.NewShardCache()
+			for _, pass := range []string{"cold", "warm"} {
+				rc, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+					sim.Options{Shards: *shards, Cache: cache})
+				if err != nil {
+					panic(err)
+				}
+				compare(fmt.Sprintf("seed %d: cached (%s) x%d", seed, pass, *shards), rd, rc)
+			}
+			if st := cache.Stats(); st.Hits != int64(*shards) || st.Misses != int64(*shards) {
+				fmt.Printf("seed %d: cache stats %+v, want %d hits / %d misses\n", seed, st, *shards, *shards)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
 			seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
+	}
+	checkHeap(watch, *maxHeap)
+}
+
+// runStreamed simulates SPES over the settings' workload through the
+// streamed engine: the trace pair is produced one shard at a time inside
+// the simulation workers.
+func runStreamed(s experiments.Settings, shards, workers int) *sim.Result {
+	src, err := experiments.StreamSource(s, shards)
+	if err != nil {
+		panic(err)
+	}
+	r, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Workers: workers})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// checkHeap enforces -maxheap over the sampled run.
+func checkHeap(watch *memwatch.Watcher, maxHeap uint64) {
+	peak, after := watch.Finish()
+	fmt.Printf("heap: peak=%d after-gc=%d bytes\n", peak, after)
+	if maxHeap > 0 && peak > maxHeap {
+		fmt.Printf("FAIL: peak heap %d exceeds -maxheap %d (O(n/P) residency regressed?)\n", peak, maxHeap)
+		os.Exit(1)
 	}
 }
 
 // compare exits non-zero with a field-level diff when got differs from the
-// dense reference (Overhead excluded: wall clock).
-func compare(label string, dense, got *sim.Result) {
-	d, g := *dense, *got
+// reference (Overhead excluded: wall clock).
+func compare(label string, ref, got *sim.Result) {
+	d, g := *ref, *got
 	d.Overhead, g.Overhead = 0, 0
 	if reflect.DeepEqual(&d, &g) {
 		return
 	}
 	fmt.Printf("%s: MISMATCH\n", label)
-	fmt.Printf("dense: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", d.TotalColdStarts, d.TotalWMT, d.TotalMemory, d.EMCRSum, d.MaxLoaded)
+	fmt.Printf("ref:   cold=%d wmt=%d mem=%d emcr=%v max=%d\n", d.TotalColdStarts, d.TotalWMT, d.TotalMemory, d.EMCRSum, d.MaxLoaded)
 	fmt.Printf("other: cold=%d wmt=%d mem=%d emcr=%v max=%d\n", g.TotalColdStarts, g.TotalWMT, g.TotalMemory, g.EMCRSum, g.MaxLoaded)
 	n := 0
 	for fid := range d.PerFunc {
 		if d.PerFunc[fid] != g.PerFunc[fid] {
-			fmt.Printf("  f%d dense=%+v other=%+v type=%s\n", fid, d.PerFunc[fid], g.PerFunc[fid], d.Types[fid])
+			fmt.Printf("  f%d ref=%+v other=%+v type=%s\n", fid, d.PerFunc[fid], g.PerFunc[fid], d.Types[fid])
 			n++
 			if n > 8 {
 				break
@@ -89,7 +172,7 @@ func compare(label string, dense, got *sim.Result) {
 	}
 	for fid := range d.Types {
 		if d.Types[fid] != g.Types[fid] {
-			fmt.Printf("  f%d type dense=%s other=%s\n", fid, d.Types[fid], g.Types[fid])
+			fmt.Printf("  f%d type ref=%s other=%s\n", fid, d.Types[fid], g.Types[fid])
 			n++
 			if n > 12 {
 				break

@@ -39,35 +39,51 @@ func run() error {
 	capacity := flag.Int("capacity", 0, "faascache/lcs capacity (0: 10% of functions)")
 	prewarm := flag.Int("theta-prewarm", 2, "SPES pre-warm window")
 	shards := flag.Int("shards", 1, "population shards simulated concurrently (spes/fixed/hf/ha/defuse; results are bit-identical to -shards 1; disables per-tick overhead measurement, which would force the shards sequential)")
+	stream := flag.Bool("stream", false, "stream the generated workload one shard at a time into the simulation (sim.RunStreamed): peak memory is O(functions/shards) event series per worker instead of the whole trace, results bit-identical; requires a generated workload (no -trace) and a shardable policy")
 	flag.Parse()
 
+	if *stream && *tracePath != "" {
+		return fmt.Errorf("-stream needs a generated workload; it cannot be combined with -trace (materialized CSVs are simulated with -shards)")
+	}
+
 	var full *trace.Trace
+	var train, simTr *trace.Trace
 	var err error
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		full, err = trace.ReadCSV(f)
-		if err != nil {
-			return err
+	n := *functions
+	if *stream {
+		// The trace pair is never materialized here: shard views are
+		// produced by the simulation workers themselves.
+		if *trainDays <= 0 || *trainDays >= *days {
+			return fmt.Errorf("train-days %d out of range for a %d-day trace", *trainDays, *days)
 		}
 	} else {
-		full, err = trace.Generate(trace.DefaultGeneratorConfig(*functions, *days, *seed))
-		if err != nil {
-			return err
+		if *tracePath != "" {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			full, err = trace.ReadCSV(f)
+			if err != nil {
+				return err
+			}
+		} else {
+			full, err = trace.Generate(trace.DefaultGeneratorConfig(*functions, *days, *seed))
+			if err != nil {
+				return err
+			}
 		}
+		n = full.NumFunctions()
+		splitAt := *trainDays * 1440
+		if splitAt <= 0 || splitAt >= full.Slots {
+			return fmt.Errorf("train-days %d out of range for a %d-slot trace", *trainDays, full.Slots)
+		}
+		train, simTr = full.Split(splitAt)
 	}
-	splitAt := *trainDays * 1440
-	if splitAt <= 0 || splitAt >= full.Slots {
-		return fmt.Errorf("train-days %d out of range for a %d-slot trace", *trainDays, full.Slots)
-	}
-	train, simTr := full.Split(splitAt)
 
 	cap := *capacity
 	if cap <= 0 {
-		cap = full.NumFunctions() / 10
+		cap = n / 10
 		if cap < 1 {
 			cap = 1
 		}
@@ -95,10 +111,20 @@ func run() error {
 	}
 
 	// Overhead timing forces shard runs sequential (timings under core
-	// contention are meaningless), so it is only taken on unsharded runs —
-	// -shards exists to exercise the concurrent engine.
-	opts := sim.Options{MeasureOverhead: *shards <= 1, Shards: *shards}
-	res, err := sim.Run(policy, train, simTr, opts)
+	// contention are meaningless), so it is only taken on unsharded,
+	// unstreamed runs — -shards exists to exercise the concurrent engine.
+	opts := sim.Options{MeasureOverhead: !*stream && *shards <= 1, Shards: *shards}
+	var res *sim.Result
+	if *stream {
+		src := sim.GeneratorSource{
+			Cfg:        trace.DefaultGeneratorConfig(*functions, *days, *seed),
+			TrainSlots: *trainDays * 1440,
+			Shards:     *shards,
+		}
+		res, err = sim.RunStreamed(policy, src, opts)
+	} else {
+		res, err = sim.Run(policy, train, simTr, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -120,7 +146,7 @@ func run() error {
 	if opts.MeasureOverhead {
 		tab.AddRow("mean tick overhead", res.OverheadPerSlot().String())
 	} else {
-		tab.AddRow("mean tick overhead", "not measured (sharded)")
+		tab.AddRow("mean tick overhead", "not measured (concurrent shards)")
 	}
 	tab.Render(os.Stdout)
 

@@ -21,13 +21,21 @@
 // preserves global order):
 //
 //	tracegen -functions 500000 -days 14 -shards 32 -o big.csv
+//
+// -train-days additionally writes the training/simulation split as two
+// CSVs (the main output gets the simulation window, -train-o the training
+// window), streamed through the same per-shard source the simulator
+// consumes (sim.GeneratorSource), so the split costs no more memory than
+// the single-file path. The simulation file's slots are re-based to 0.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -40,10 +48,22 @@ func main() {
 	chain := flag.Float64("chain", 0.40, "fraction of multi-function apps forming chains")
 	shards := flag.Int("shards", 1, "generate the population in this many streamed shards (bounds peak memory to ~1/shards of the trace)")
 	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n scale experiments)")
+	trainDays := flag.Int("train-days", 0, "when positive, split the trace: write the first train-days days to -train-o and the rest (re-based to slot 0) to -o")
+	trainOut := flag.String("train-o", "train.csv", "training-window CSV path when -train-days is set")
 	flag.Parse()
 
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "tracegen: -shards must be >= 1")
+		os.Exit(1)
+	}
+	if *trainDays < 0 || *trainDays >= *days {
+		fmt.Fprintf(os.Stderr, "tracegen: -train-days %d outside [0, %d)\n", *trainDays, *days)
+		os.Exit(1)
+	}
+	if *trainDays > 0 && *out == *trainOut {
+		// Same destination would interleave (stdout) or overwrite (two
+		// O_TRUNC handles on one path) the two CSV streams.
+		fmt.Fprintf(os.Stderr, "tracegen: -o and -train-o must name different destinations (both %q)\n", *out)
 		os.Exit(1)
 	}
 
@@ -54,35 +74,65 @@ func main() {
 		cfg.TriggerMix = trace.SparseTriggerMix()
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	open := func(path string) io.Writer {
+		if path == "-" {
+			return os.Stdout
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		return f
+	}
+	w := open(*out)
+	var trainW io.Writer
+	if *trainDays > 0 {
+		trainW = open(*trainOut)
 	}
 
+	// The generator source is the same per-shard iterator the streamed
+	// simulation engine consumes; with -train-days 0 it yields each whole
+	// shard as the "simulation" view.
+	src := sim.GeneratorSource{Cfg: cfg, TrainSlots: *trainDays * 1440, Shards: *shards}
 	written := 0
 	var invocations int64
-	for i := 0; i < *shards; i++ {
-		sh, err := trace.GenerateShard(cfg, i, *shards)
+	for i := 0; i < src.NumShards(); i++ {
+		trainV, simV, err := src.Shard(i)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		if err := trace.WriteCSV(w, sh.Trace); err != nil {
+		if err := trace.WriteCSV(w, simV.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
-		written += sh.NumFunctions()
-		invocations += sh.TotalInvocations()
+		if trainV != nil {
+			if err := trace.WriteCSV(trainW, trainV.Trace); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		written += simV.NumFunctions()
+		invocations += simV.TotalInvocations()
+		if trainV != nil {
+			invocations += trainV.TotalInvocations()
+		}
 		if *shards > 1 {
 			fmt.Fprintf(os.Stderr, "tracegen: shard %d/%d: %d functions\n",
-				i+1, *shards, sh.NumFunctions())
+				i+1, *shards, simV.NumFunctions())
 		}
+	}
+	if c, ok := w.(io.Closer); ok && w != io.Writer(os.Stdout) {
+		c.Close()
+	}
+	if c, ok := trainW.(io.Closer); ok {
+		c.Close()
+	}
+	if *trainDays > 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d functions, %d train + %d sim days (%d invocations) to %s + %s\n",
+			written, *trainDays, *days-*trainDays, invocations, *trainOut, *out)
+		return
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d functions x %d days (%d invocations) to %s\n",
 		written, *days, invocations, *out)

@@ -91,6 +91,21 @@ func TestSPESEventEngineEquivalence(t *testing.T) {
 			t.Fatalf("seed %d: degenerate reference workload: %+v", seed, ref)
 		}
 
+		// Streamed sources: same workload as the materialized traces above,
+		// produced one shard at a time by the generator.
+		src1, err := experiments.StreamSource(eqvSettings(seed), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src2, err := experiments.StreamSource(eqvSettings(seed), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src5, err := experiments.StreamSource(eqvSettings(seed), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+
 		cases := []struct {
 			label  string
 			policy sim.Policy
@@ -102,6 +117,12 @@ func TestSPESEventEngineEquivalence(t *testing.T) {
 			{"sharded x2 event engine", core.New(core.DefaultConfig()), sim.Options{Shards: 2}},
 			{"sharded x5 event engine", core.New(core.DefaultConfig()), sim.Options{Shards: 5}},
 			{"sharded x3 dense engine", core.New(denseCfg), sim.Options{Shards: 3}},
+			{"streamed x1 event engine", core.New(core.DefaultConfig()), sim.Options{Source: src1}},
+			{"streamed x2 event engine", core.New(core.DefaultConfig()), sim.Options{Source: src2}},
+			{"streamed x5 event engine", core.New(core.DefaultConfig()), sim.Options{Source: src5}},
+			{"streamed x5 dense engine", core.New(denseCfg), sim.Options{Source: src5}},
+			{"streamed x5 cached event engine", core.New(core.DefaultConfig()),
+				sim.Options{Source: src5, Cache: sim.NewShardCache()}},
 		}
 		for _, c := range cases {
 			got, err := sim.Run(c.policy, train, simTr, c.opts)
@@ -195,6 +216,18 @@ func TestShardedLargeNSparseEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			assertSameResult(t, fmt.Sprintf("seed %d: sharded x%d vs dense", seed, shards), ref, sharded)
+
+			// Streamed form of the same run: the trace pair is never
+			// materialized, shards are generated inside the workers.
+			src, err := experiments.StreamSource(s, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, fmt.Sprintf("seed %d: streamed x%d vs dense", seed, shards), ref, streamed)
 		}
 	}
 }

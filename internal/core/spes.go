@@ -126,6 +126,14 @@ func (s *SPES) Name() string { return "SPES" }
 // global instance's decisions exactly.
 func (s *SPES) NewShard() sim.Policy { return New(s.cfg) }
 
+// ConfigHash implements sim.ConfigHasher: a content hash of the complete
+// Config — classification thresholds, provision parameters, engine choice
+// (DenseScan) and every ablation switch — so the shard cache can tell any
+// two behaviourally distinct SPES configurations apart. sim.HashConfig
+// walks every field reflectively; fields added to Config (or
+// classify.Config) are hashed automatically.
+func (s *SPES) ConfigHash() uint64 { return sim.HashConfig(s.cfg) }
+
 // Train runs the offline phase: categorize every function from its training
 // history, build the correlated-link reverse index, seed per-function state
 // (last invocation, current WT) so predictions straddle the train/sim

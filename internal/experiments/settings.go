@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -25,6 +26,20 @@ type Settings struct {
 	// distribution (e.g. trace.SparseTriggerMix for the mostly-idle
 	// large-n populations of the scale experiments).
 	TriggerMix []float64
+
+	// Shards sets the population shard count for the runners that execute
+	// sharded (the Figure 13 sweeps, whose per-shard cache needs shards to
+	// be the unit of work). 0 picks a default. Results are bit-identical
+	// for every value — sharding only changes execution, never outcomes.
+	Shards int
+}
+
+// sweepShards resolves the shard count for cache-backed sweep runners.
+func (s Settings) sweepShards() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	return 4
 }
 
 // DefaultSettings returns a laptop-scale default: the full 14-day horizon
@@ -75,6 +90,21 @@ func BuildWorkload(s Settings) (full, train, simTr *trace.Trace, err error) {
 	}
 	train, simTr = full.Split(s.TrainDays * 1440)
 	return full, train, simTr, nil
+}
+
+// StreamSource returns the streamed-engine form of BuildWorkload: a
+// sim.GeneratorSource yielding the same train/sim pair as BuildWorkload(s),
+// one population shard at a time, so sim.RunStreamed holds O(n/shards)
+// event series per in-flight worker instead of the whole trace. Results are
+// bit-identical to the materialized engines (the streamed equivalence tests
+// assert it).
+func StreamSource(s Settings, shards int) (sim.GeneratorSource, error) {
+	if err := s.Validate(); err != nil {
+		return sim.GeneratorSource{}, err
+	}
+	cfg := trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed)
+	cfg.TriggerMix = s.TriggerMix
+	return sim.GeneratorSource{Cfg: cfg, TrainSlots: s.TrainDays * 1440, Shards: shards}, nil
 }
 
 // SparseSettings returns the scale-experiment configuration: n mostly-idle

@@ -9,61 +9,95 @@ import (
 	"repro/internal/sim"
 )
 
-// Fig13a sweeps theta_prewarm over the paper's values {1, 2, 3, 5, 10} and
-// reports (normalized memory, Q3-CSR) per point — the trade-off line of
-// Figure 13(a).
-func Fig13a(w io.Writer, s Settings) error {
+// sweepPoint is one configuration of a Figure 13 parameter sweep: the
+// rendered parameter value, the SPES config to run, and whether this point
+// is the normalization baseline for the memory column.
+type sweepPoint struct {
+	label    string
+	cfg      core.Config
+	baseline bool
+}
+
+// runNormalizedSweep runs the points through one cache-backed sharded
+// sim.Sweep (bit-identical to unsharded runs; unchanged configs across
+// sweeps sharing a cache are served from it) and renders a (param,
+// normalized memory, Q3-CSR) table. Memory is normalized to the baseline
+// point, which need not come first, so rows are buffered and rendered
+// after the sweep completes; footer lines follow the table.
+func runNormalizedSweep(w io.Writer, s Settings, title, header string, pts []sweepPoint, footer ...string) error {
 	_, train, simTr, err := BuildWorkload(s)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "Figure 13(a) — trade-off under different theta_prewarm")
-	tab := report.NewTable("theta_prewarm", "Norm. memory", "Q3-CSR")
+	sweep, err := sim.NewSweep(train, simTr, sim.Options{Shards: s.sweepShards()})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, title)
+	tab := report.NewTable(header, "Norm. memory", "Q3-CSR")
 
+	type row struct{ mem, q3 float64 }
+	rows := make([]row, len(pts))
 	var baseMem float64
-	for _, theta := range []int{1, 2, 3, 5, 10} {
-		cfg := s.SPES
-		cfg.Classify.ThetaPrewarm = theta
-		res, err := sim.Run(core.New(cfg), train, simTr, sim.Options{})
+	baseLabel := ""
+	for i, p := range pts {
+		res, err := sweep.Run(core.New(p.cfg))
 		if err != nil {
 			return err
 		}
-		mem := res.MeanLoaded()
-		if theta == 2 {
-			baseMem = mem
+		rows[i] = row{mem: res.MeanLoaded(), q3: res.QuantileCSR(0.75)}
+		if p.baseline {
+			baseMem = rows[i].mem
+			baseLabel = p.label
 		}
-		tab.AddRow(fmt.Sprint(theta), fmt.Sprintf("%.4f", mem), fmt.Sprintf("%.4f", res.QuantileCSR(0.75)))
+	}
+	for i, p := range pts {
+		mem := rows[i].mem
+		if baseMem > 0 {
+			mem /= baseMem
+		}
+		tab.AddRow(p.label, fmt.Sprintf("%.4f", mem), fmt.Sprintf("%.4f", rows[i].q3))
 	}
 	tab.Render(w)
 	if baseMem > 0 {
-		fmt.Fprintln(w, "(memory in mean loaded instances; the paper normalizes to theta=2)")
+		fmt.Fprintf(w, "(memory normalized to %s=%s: 1.0000 = %.1f mean loaded instances)\n",
+			header, baseLabel, baseMem)
 	}
-	fmt.Fprintln(w, "(expected shape: memory up, Q3-CSR down, roughly linearly)")
+	for _, line := range footer {
+		fmt.Fprintln(w, line)
+	}
 	return nil
 }
 
-// Fig13b sweeps the theta_givenup scaler over {1..5} as Figure 13(b) does:
-// the original per-type values are multiplied by the scaler.
-func Fig13b(w io.Writer, s Settings) error {
-	_, train, simTr, err := BuildWorkload(s)
-	if err != nil {
-		return err
+// Fig13a sweeps theta_prewarm over the paper's values {1, 2, 3, 5, 10} and
+// reports (normalized memory, Q3-CSR) per point — the trade-off line of
+// Figure 13(a). Memory is normalized to the theta=2 baseline, as the paper
+// does.
+func Fig13a(w io.Writer, s Settings) error {
+	var pts []sweepPoint
+	for _, theta := range []int{1, 2, 3, 5, 10} {
+		cfg := s.SPES
+		cfg.Classify.ThetaPrewarm = theta
+		pts = append(pts, sweepPoint{label: fmt.Sprint(theta), cfg: cfg, baseline: theta == 2})
 	}
-	fmt.Fprintln(w, "Figure 13(b) — trade-off under scaled theta_givenup")
-	tab := report.NewTable("Scaler", "Norm. memory", "Q3-CSR")
+	return runNormalizedSweep(w, s,
+		"Figure 13(a) — trade-off under different theta_prewarm", "theta_prewarm", pts,
+		"(expected shape: memory up, Q3-CSR down, roughly linearly)")
+}
+
+// Fig13b sweeps the theta_givenup scaler over {1..5} as Figure 13(b) does:
+// the original per-type values are multiplied by the scaler. Memory is
+// normalized to the scaler=1 point (the paper's original settings).
+func Fig13b(w io.Writer, s Settings) error {
+	var pts []sweepPoint
 	for scaler := 1; scaler <= 5; scaler++ {
 		cfg := s.SPES
 		cfg.Classify.ThetaGivenupDense = 5 * scaler
 		cfg.Classify.ThetaGivenupOther = 1 * scaler
-		res, err := sim.Run(core.New(cfg), train, simTr, sim.Options{})
-		if err != nil {
-			return err
-		}
-		tab.AddRow(fmt.Sprint(scaler), fmt.Sprintf("%.4f", res.MeanLoaded()),
-			fmt.Sprintf("%.4f", res.QuantileCSR(0.75)))
+		pts = append(pts, sweepPoint{label: fmt.Sprint(scaler), cfg: cfg, baseline: scaler == 1})
 	}
-	tab.Render(w)
-	fmt.Fprintln(w, "(expected shape: larger scalers buy little cold-start reduction —")
-	fmt.Fprintln(w, " idle functions should be evicted promptly)")
-	return nil
+	return runNormalizedSweep(w, s,
+		"Figure 13(b) — trade-off under scaled theta_givenup", "Scaler", pts,
+		"(expected shape: larger scalers buy little cold-start reduction —",
+		" idle functions should be evicted promptly)")
 }

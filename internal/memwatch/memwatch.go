@@ -1,0 +1,59 @@
+// Package memwatch samples the Go heap during a measured region, so
+// benchmarks and CI guards can record (and bound) peak residency — the
+// number the streamed simulation engine's O(n/P) claim is about.
+package memwatch
+
+import (
+	"runtime"
+	"time"
+)
+
+// Watcher samples runtime.MemStats.HeapInuse on a ticker until Finish,
+// tracking the peak. Each sample briefly stops the world; at the default
+// 2ms cadence that is noise against multi-second regions (do not wrap
+// ns-scale benchmarks in one).
+type Watcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+// Watch collects the heap (so the region starts from live data only) and
+// begins sampling.
+func Watch() *Watcher {
+	runtime.GC()
+	w := &Watcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > w.peak {
+					w.peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Finish stops sampling and returns the observed peak HeapInuse plus the
+// post-GC live heap.
+func (w *Watcher) Finish() (peak, afterGC uint64) {
+	close(w.stop)
+	<-w.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapInuse > w.peak {
+		w.peak = ms.HeapInuse
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	return w.peak, ms.HeapInuse
+}

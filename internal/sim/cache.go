@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// shardKey identifies one shard simulation outcome by content: WHO ran
+// (policy name + a hash of its complete behaviour-affecting configuration),
+// over WHAT (the shard's train/sim trace fingerprint), for HOW LONG (the
+// simulation slot count, guarding against two sources sharing a trace
+// fingerprint scheme but differing in window). Two runs with equal keys
+// produce bit-identical per-shard results — that is the cache's entire
+// correctness argument, so every piece must be content-derived, never
+// identity-derived.
+type shardKey struct {
+	policy string
+	config uint64
+	trace  uint64
+	slots  int
+}
+
+// shardEntry is one cached shard outcome: the shard-local Result, the
+// per-slot (loaded, active) log the merge recomputes global aggregates
+// from, and the local-to-global id mapping. All three are read-only once
+// stored — the merge only reads them, and concurrent merges may share one
+// entry.
+type shardEntry struct {
+	res    *Result
+	log    *slotLog
+	global []trace.FuncID
+}
+
+// ShardCache memoizes per-shard simulation outcomes across sharded runs,
+// making parameter sweeps incremental: a sweep point re-simulates only the
+// shards of policies whose configuration changed, and a repeated
+// configuration (a warm sweep, a baseline shared across figures) is served
+// from the cache with a merge bit-identical to a fresh run.
+//
+// Entries are keyed by content (see shardKey), so the cache is safe to
+// share across traces, policies, shard counts, and goroutines. Memory: one
+// entry holds O(shard functions) metrics plus O(slots) log — the event
+// series themselves are NOT retained, so caching a P-shard run costs about
+// as much as its merged Result.
+type ShardCache struct {
+	mu      sync.Mutex
+	entries map[shardKey]*shardEntry
+	hits    int64
+	misses  int64
+}
+
+// NewShardCache returns an empty cache, ready to be set as Options.Cache.
+func NewShardCache() *ShardCache {
+	return &ShardCache{entries: make(map[shardKey]*shardEntry)}
+}
+
+// lookup returns the cached entry for key, counting a hit or miss.
+func (c *ShardCache) lookup(key shardKey) *shardEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent := c.entries[key]
+	if ent != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return ent
+}
+
+// store records a freshly simulated shard outcome. Two concurrent runs of
+// the same key may both miss and both store; the entries are bit-identical,
+// so last-write-wins is harmless.
+func (c *ShardCache) store(key shardKey, ent *shardEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = ent
+}
+
+// CacheStats reports a cache's traffic: Hits and Misses count lookups by
+// qualified runs (non-qualified runs bypass the cache without counting),
+// Entries the distinct shard outcomes retained.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots the cache counters.
+func (c *ShardCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Sweep runs many policy configurations over one fixed workload with shard
+// results cached and the partition (or streamed source) shared, so a
+// parameter sweep re-simulates only what each point changes and a repeated
+// point costs one merge. Build one per workload; call Run per sweep point.
+type Sweep struct {
+	train, simTr *trace.Trace
+	opts         Options
+}
+
+// NewSweep prepares an incremental sweep over a materialized train/sim
+// pair. opts.Shards > 1 enables per-shard caching (the partition and shard
+// fingerprints are computed once and shared across all points); a missing
+// Cache is created. Results are bit-identical to plain Run with the same
+// options.
+func NewSweep(train, simTr *trace.Trace, opts Options) (*Sweep, error) {
+	if simTr == nil {
+		return nil, fmt.Errorf("sim: sweep needs a simulation trace")
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewShardCache()
+	}
+	if opts.Shards > 1 {
+		opts.shardSet = buildShardSet(train, simTr, opts.Shards)
+	}
+	return &Sweep{train: train, simTr: simTr, opts: opts}, nil
+}
+
+// NewStreamedSweep prepares an incremental sweep over a streamed Source:
+// sweep points additionally skip shard production on cache hits (a warm
+// generator-backed sweep never generates at all).
+func NewStreamedSweep(src Source, opts Options) (*Sweep, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sim: sweep needs a source")
+	}
+	if opts.Cache == nil {
+		opts.Cache = NewShardCache()
+	}
+	opts.Source = src
+	return &Sweep{opts: opts}, nil
+}
+
+// Run simulates one sweep point.
+func (s *Sweep) Run(policy Policy) (*Result, error) {
+	return Run(policy, s.train, s.simTr, s.opts)
+}
+
+// RunAll simulates several policies as one sweep point (shared worker
+// budget, results in input order).
+func (s *Sweep) RunAll(policies []Policy) ([]*Result, error) {
+	return RunAll(policies, s.train, s.simTr, s.opts)
+}
+
+// Cache exposes the sweep's shard cache (for stats or sharing with another
+// sweep over the same workload).
+func (s *Sweep) Cache() *ShardCache { return s.opts.Cache }

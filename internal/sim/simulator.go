@@ -38,6 +38,24 @@ type Options struct {
 	// 0 means one per available core.
 	Workers int
 
+	// Source, when non-nil, replaces the materialized train/sim trace pair:
+	// Run and RunAll ignore their trace arguments and stream per-shard views
+	// from it (sugar for RunStreamed). Shard views are produced inside the
+	// worker that simulates them, so peak residency is O(n/P) event series
+	// per in-flight worker. The policy must implement ShardedPolicy.
+	Source Source
+
+	// Cache, when non-nil, memoizes per-shard outcomes across sharded runs:
+	// a shard whose (policy name, config hash, trace fingerprint, slot
+	// count) key was simulated before is served from the cache instead of
+	// re-run, making parameter sweeps incremental — only shards whose policy
+	// config changed re-simulate. Requires the policy to implement
+	// ConfigHasher and the source to provide shard fingerprints; runs that
+	// don't qualify (or that set MeasureOverhead, whose wall-clock timings
+	// must be fresh) silently bypass the cache. Merged results are
+	// bit-identical either way.
+	Cache *ShardCache
+
 	// pool is the shared worker budget. RunAll seeds it so that policies x
 	// shards never exceed Workers concurrent simulations; runSharded creates
 	// one for direct sharded Run calls. Tokens are only ever held by leaf
@@ -75,17 +93,32 @@ type ShardedPolicy interface {
 
 // shardSet carries one partition of a train/sim trace pair into shard
 // views. Views are safe to share across concurrent policy runs: series are
-// read-only and each view's memoized slot index is mutex-guarded.
+// read-only and each view's memoized slot index is mutex-guarded. It is the
+// materialized-trace implementation of Source (all views exist up front, so
+// Shard just hands them out) and of SourceFingerprint (content hash of each
+// shard's series and metadata, computed once per set).
 type shardSet struct {
 	sim   []*trace.ShardView
 	train []*trace.ShardView // nil when there is no training trace
+
+	functions int
+	slots     int
+
+	fps    []uint64
+	fpOnce []sync.Once
 }
 
 // buildShardSet partitions the population once and materializes the P
 // train/sim shard views.
 func buildShardSet(training, simTrace *trace.Trace, p int) *shardSet {
 	part := trace.PartitionFunctions(simTrace.Functions, p)
-	ss := &shardSet{sim: make([]*trace.ShardView, p)}
+	ss := &shardSet{
+		sim:       make([]*trace.ShardView, p),
+		functions: simTrace.NumFunctions(),
+		slots:     simTrace.Slots,
+		fps:       make([]uint64, p),
+		fpOnce:    make([]sync.Once, p),
+	}
 	if training != nil {
 		ss.train = make([]*trace.ShardView, p)
 	}
@@ -96,6 +129,37 @@ func buildShardSet(training, simTrace *trace.Trace, p int) *shardSet {
 		}
 	}
 	return ss
+}
+
+// NumShards implements Source.
+func (ss *shardSet) NumShards() int { return len(ss.sim) }
+
+// NumFunctions implements Source.
+func (ss *shardSet) NumFunctions() int { return ss.functions }
+
+// Slots implements Source.
+func (ss *shardSet) Slots() int { return ss.slots }
+
+// Shard implements Source.
+func (ss *shardSet) Shard(i int) (train, sim *trace.ShardView, err error) {
+	if ss.train != nil {
+		train = ss.train[i]
+	}
+	return train, ss.sim[i], nil
+}
+
+// ShardFingerprint implements SourceFingerprint: a content hash of shard
+// i's train/sim series and metadata, memoized so sweeps sharing one
+// shardSet hash each shard once.
+func (ss *shardSet) ShardFingerprint(i int) (uint64, bool) {
+	ss.fpOnce[i].Do(func() {
+		var tr *trace.ShardView
+		if ss.train != nil {
+			tr = ss.train[i]
+		}
+		ss.fps[i] = fingerprintShardViews(tr, ss.sim[i])
+	})
+	return ss.fps[i], true
 }
 
 // slotLog records a shard run's per-slot post-Tick loaded and active-loaded
@@ -114,6 +178,9 @@ type slotLog struct {
 // sharded engine instead: one policy instance per population shard,
 // concurrently, with a deterministic merge.
 func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
+	if opts.Source != nil {
+		return RunStreamed(policy, opts.Source, opts)
+	}
 	if simTrace == nil {
 		return nil, fmt.Errorf("sim: nil simulation trace")
 	}
@@ -317,9 +384,42 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 	return res, nil
 }
 
-// runSharded splits the population into opts.Shards app/user-closed shards,
-// simulates one fresh policy instance per shard (concurrently, bounded by
-// the worker budget), and merges the shard results.
+// RunStreamed simulates the policy over a Source: the sharded engine with
+// the shard as the unit of residency. Each worker produces its shard's
+// train/sim views (src.Shard) while holding a worker token, simulates them,
+// and drops the series before taking the next shard, so peak memory is
+// O(n/P) event series per in-flight worker plus the O(n) merged result —
+// never the full trace. The merge is identical to the materialized sharded
+// engine's, so results are bit-identical to Run over the equivalent trace
+// pair (the equivalence tests assert it). The policy must implement
+// ShardedPolicy, even for a single-shard source.
+func RunStreamed(policy Policy, src Source, opts Options) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("sim: nil source")
+	}
+	opts.Source = nil // consumed here; Run would otherwise recurse
+	opts.Shards = src.NumShards()
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("sim: source reports %d shards", opts.Shards)
+	}
+	return runShardedSrc(policy, src, opts)
+}
+
+// runSharded splits the population into opts.Shards app/user-closed shards
+// and runs the source-driven engine over the materialized views.
+func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
+	ss := opts.shardSet
+	if ss == nil {
+		ss = buildShardSet(training, simTrace, opts.Shards)
+	}
+	return runShardedSrc(policy, ss, opts)
+}
+
+// runShardedSrc simulates one fresh policy instance per source shard
+// (concurrently, bounded by the worker budget) and merges the shard
+// results. Shard views are produced by the worker that simulates them,
+// inside its token hold, which is what bounds streamed residency; when a
+// ShardCache is in play, a hit skips production and simulation entirely.
 //
 // The merge is deterministic and bit-identical to the unsharded engine:
 //   - Per-function metrics and type labels are scattered back through each
@@ -331,19 +431,22 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 //     loaded/active counts and the merge recomputes every slot's global
 //     values from the integer sums, applying the exact formulas (and float
 //     summation order: slot 0, 1, 2, ...) of the unsharded loop.
-func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
+func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	sp, ok := policy.(ShardedPolicy)
 	if !ok {
 		return nil, fmt.Errorf("sim: policy %s does not implement sim.ShardedPolicy; run it with Options.Shards <= 1", policy.Name())
 	}
-	p := opts.Shards
-	ss := opts.shardSet
-	if ss == nil {
-		ss = buildShardSet(training, simTrace, p)
-	}
+	p := src.NumShards()
+	slots := src.Slots()
 
 	inner := opts
 	inner.Shards = 0
+	inner.shardSet = nil
+	// Worker tokens are taken by the shard goroutines below, around view
+	// production AND simulation, so a streamed source never has more than
+	// Workers shards resident; runOne must not re-acquire.
+	pool := opts.pool
+	inner.pool = nil
 	if opts.Progress != nil {
 		var mu sync.Mutex
 		progress := opts.Progress
@@ -354,37 +457,76 @@ func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*
 		}
 	}
 
+	// Cache qualification: a fingerprintable source, a hashable policy
+	// config, and no overhead timing (cached Overhead would be stale).
+	var (
+		cache  = opts.Cache
+		hasher ConfigHasher
+		fps    SourceFingerprint
+	)
+	if cache != nil && !opts.MeasureOverhead {
+		hasher, _ = policy.(ConfigHasher)
+		fps, _ = src.(SourceFingerprint)
+	}
+
 	results := make([]*Result, p)
 	logs := make([]*slotLog, p)
+	globals := make([][]trace.FuncID, p)
 	errs := make([]error, p)
 	runShard := func(i int) {
+		var key shardKey
+		cacheable := false
+		if cache != nil && hasher != nil && fps != nil {
+			if fp, ok := fps.ShardFingerprint(i); ok {
+				key = shardKey{
+					policy: policy.Name(),
+					config: hasher.ConfigHash(),
+					trace:  fp,
+					slots:  slots,
+				}
+				cacheable = true
+				if ent := cache.lookup(key); ent != nil {
+					results[i], logs[i], globals[i] = ent.res, ent.log, ent.global
+					return
+				}
+			}
+		}
+		train, sim, err := src.Shard(i)
+		if err != nil {
+			errs[i] = fmt.Errorf("producing shard: %w", err)
+			return
+		}
+		globals[i] = sim.Global
 		logs[i] = &slotLog{
-			loaded: make([]int32, 0, simTrace.Slots),
-			active: make([]int32, 0, simTrace.Slots),
+			loaded: make([]int32, 0, slots),
+			active: make([]int32, 0, slots),
 		}
 		var tr *trace.Trace
-		if ss.train != nil {
-			tr = ss.train[i].Trace
+		if train != nil {
+			tr = train.Trace
 		}
-		results[i], errs[i] = runOne(sp.NewShard(), tr, ss.sim[i].Trace, inner, logs[i])
+		results[i], errs[i] = runOne(sp.NewShard(), tr, sim.Trace, inner, logs[i])
+		if cacheable && errs[i] == nil {
+			cache.store(key, &shardEntry{res: results[i], log: logs[i], global: globals[i]})
+		}
 	}
 	if opts.MeasureOverhead {
-		// Sequential: per-Tick timings must not contend for cores. No pool
-		// tokens are in play (inner.pool stays nil on this path only if the
-		// caller did not seed one; a seeded pool is still honored by runOne,
-		// which is harmless when runs are sequential).
+		// Sequential: per-Tick timings must not contend for cores. One shard
+		// resident at a time — the minimal-memory path.
 		for i := 0; i < p; i++ {
 			runShard(i)
 		}
 	} else {
-		if inner.pool == nil {
-			inner.pool = make(chan struct{}, opts.workers())
+		if pool == nil {
+			pool = make(chan struct{}, opts.workers())
 		}
 		var wg sync.WaitGroup
 		for i := 0; i < p; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				pool <- struct{}{}
+				defer func() { <-pool }()
 				runShard(i)
 			}(i)
 		}
@@ -396,22 +538,21 @@ func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*
 		}
 	}
 
-	return mergeShardResults(policy.Name(), simTrace, ss.sim, results, logs), nil
+	return mergeShardResults(policy.Name(), slots, src.NumFunctions(), globals, results, logs), nil
 }
 
 // mergeShardResults folds per-shard results into the population-global
-// Result. See runSharded for the determinism argument.
-func mergeShardResults(name string, simTrace *trace.Trace, shards []*trace.ShardView, results []*Result, logs []*slotLog) *Result {
-	n := simTrace.NumFunctions()
+// Result. See runShardedSrc for the determinism argument.
+func mergeShardResults(name string, slots, n int, globals [][]trace.FuncID, results []*Result, logs []*slotLog) *Result {
 	res := &Result{
 		Policy:    name,
-		Slots:     simTrace.Slots,
+		Slots:     slots,
 		Functions: n,
 		PerFunc:   make([]FuncMetrics, n),
 	}
 	allTyped := true
 	for i, sr := range results {
-		for li, g := range shards[i].Global {
+		for li, g := range globals[i] {
 			res.PerFunc[g] = sr.PerFunc[li]
 		}
 		res.TotalInvocations += sr.TotalInvocations
@@ -425,7 +566,7 @@ func mergeShardResults(name string, simTrace *trace.Trace, shards []*trace.Shard
 	if allTyped && len(results) > 0 {
 		res.Types = make([]string, n)
 		for i, sr := range results {
-			for li, g := range shards[i].Global {
+			for li, g := range globals[i] {
 				res.Types[g] = sr.Types[li]
 			}
 		}
@@ -470,7 +611,7 @@ func mergeShardResults(name string, simTrace *trace.Trace, shards []*trace.Shard
 // instead: per-Tick wall-clock timings taken while policies contend for
 // cores would be meaningless.
 func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([]*Result, error) {
-	if opts.Shards > 1 && simTrace != nil && opts.shardSet == nil &&
+	if opts.Source == nil && opts.Shards > 1 && simTrace != nil && opts.shardSet == nil &&
 		(training == nil || training.NumFunctions() == simTrace.NumFunctions()) {
 		// Partition once and share the shard views (and their memoized slot
 		// indexes) across all policies, mirroring how the unsharded path
