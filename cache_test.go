@@ -5,6 +5,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/baselines"
@@ -104,6 +106,116 @@ func TestStreamedSweepMatchesMaterialized(t *testing.T) {
 	for i := range cold {
 		assertSameResult(t, "warm streamed sweep point", cold[i], warm[i])
 	}
+}
+
+// TestDiskCacheRestartReproducesCold simulates a sweep surviving a process
+// restart: a cold streamed sweep through a disk-backed cache, then the same
+// sweep through a FRESH in-memory cache over the same entry directory — as
+// a restarted process would see it — must be served entirely from disk and
+// reproduce the cold results bit for bit. A third pass through a memory-hit
+// cache pins down that the disk round trip and the in-memory hit agree.
+func TestDiskCacheRestartReproducesCold(t *testing.T) {
+	s := eqvSettings(17)
+	const shards = 4
+	dir := t.TempDir()
+	thetas := []int{1, 3}
+
+	sweepPass := func(label string) ([]*sim.Result, sim.CacheStats) {
+		disk, err := sim.OpenDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := sim.NewShardCache()
+		cache.AttachDisk(disk)
+		src, err := experiments.StreamSource(s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, err := sim.NewStreamedSweep(src, sim.Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*sim.Result
+		for _, theta := range thetas {
+			cfg := core.DefaultConfig()
+			cfg.Classify.ThetaPrewarm = theta
+			res, err := sweep.Run(core.New(cfg))
+			if err != nil {
+				t.Fatalf("%s theta=%d: %v", label, theta, err)
+			}
+			out = append(out, res)
+		}
+		return out, cache.Stats()
+	}
+
+	cold, coldSt := sweepPass("cold")
+	if coldSt.DiskHits != 0 || coldSt.Misses != int64(len(thetas)*shards) {
+		t.Fatalf("cold pass stats = %+v, want all misses and no disk hits", coldSt)
+	}
+	restart, restartSt := sweepPass("restart")
+	if want := int64(len(thetas) * shards); restartSt.DiskHits != want || restartSt.Misses != 0 {
+		t.Fatalf("restart pass stats = %+v, want %d disk hits / 0 misses", restartSt, want)
+	}
+	for i := range cold {
+		assertSameResult(t, fmt.Sprintf("restart sweep theta=%d", thetas[i]), cold[i], restart[i])
+	}
+}
+
+// TestDiskCacheCorruptEntriesAreMisses damages every persisted entry file —
+// truncation for half, a flipped payload byte for the rest — and re-runs
+// the sweep through a fresh cache over the damaged directory: every lookup
+// must degrade to a miss and re-simulate, reproducing the undamaged results
+// exactly. A wrong result here would mean the checksum/version verification
+// let a damaged entry through — the one failure mode the disk tier must
+// never have.
+func TestDiskCacheCorruptEntriesAreMisses(t *testing.T) {
+	s := eqvSettings(19)
+	const shards = 3
+	dir := t.TempDir()
+
+	run := func() (*sim.Result, sim.CacheStats) {
+		disk, err := sim.OpenDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := sim.NewShardCache()
+		cache.AttachDisk(disk)
+		src, err := experiments.StreamSource(s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cache.Stats()
+	}
+
+	clean, _ := run()
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if err != nil || len(files) != shards {
+		t.Fatalf("persisted entries = %v (err %v), want %d files", files, err, shards)
+	}
+	for i, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			data = data[:len(data)*2/3] // truncate
+		} else {
+			data[len(data)/2] ^= 0x01 // flip one payload byte
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	damaged, st := run()
+	if st.DiskHits != 0 || st.Misses != shards {
+		t.Fatalf("post-damage stats = %+v, want 0 disk hits / %d misses", st, shards)
+	}
+	assertSameResult(t, "re-simulated after entry damage", clean, damaged)
 }
 
 // TestShardCacheInvalidationIsPerPolicy shares one cache across a RunAll of

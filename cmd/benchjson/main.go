@@ -18,10 +18,15 @@
 //
 // -cacheSweep runs a Figure-13a-style 5-point theta_prewarm sweep twice
 // through one sim.ShardCache — cold, then warm — recording both wall
-// times, the cache traffic, and a per-point equivalence check.
+// times, the cache traffic, and a per-point equivalence check. -cacheDir
+// backs that cache with an on-disk entry directory: the sweep then runs
+// streamed and adds a warm-after-restart pass through a fresh in-memory
+// cache over the same directory, recording what a sweep costs a restarted
+// process (every shard outcome must restore from disk).
 //
-//	go run ./cmd/benchjson -out BENCH_3.json -sweep 600,10000,100000 \
-//	    -sweepShards 1,16 -cacheSweep 600,10000 -cacheShards 8
+//	go run ./cmd/benchjson -out BENCH_4.json -sweep 600,10000,100000 \
+//	    -sweepShards 1,16 -cacheSweep 600,10000 -cacheShards 8 \
+//	    -cacheDir /tmp/shardcache
 package main
 
 import (
@@ -99,23 +104,33 @@ type SweepPoint struct {
 }
 
 // CacheSweepResult records one cold-vs-warm comparison of the incremental
-// sweep cache: the same 5-point theta_prewarm sweep run twice through one
-// sim.ShardCache over one workload. The warm pass re-runs nothing — every
-// (policy config, shard) key was seen by the cold pass — so WarmMs/ColdMs
-// is the sweep-cache win; ResultsMatch asserts the warm results were
-// bit-identical to the cold ones.
+// sweep cache: the same 5-point theta_prewarm sweep run repeatedly through
+// one sim.ShardCache over one workload. The warm pass re-runs nothing —
+// every (policy config, shard) key was seen by the cold pass — so
+// WarmMs/ColdMs is the sweep-cache win; ResultsMatch asserts the warm
+// results were bit-identical to the cold ones.
+//
+// With -cacheDir the sweep instead runs streamed with a disk-backed cache
+// (Mode "streamed+disk"): a third, restart-simulating pass runs through a
+// FRESH in-memory cache over the same entry directory — every shard
+// outcome must be restored from disk (DiskHits), never re-simulated — and
+// WarmRestartMs records what a sweep costs a restarted process.
 type CacheSweepResult struct {
-	Functions    int     `json:"functions"`
-	Days         int     `json:"days"`
-	TrainDays    int     `json:"train_days"`
-	Seed         int64   `json:"seed"`
-	Shards       int     `json:"shards"`
-	Points       int     `json:"points"`
-	ColdMs       float64 `json:"cold_ms"`
-	WarmMs       float64 `json:"warm_ms"`
-	Hits         int64   `json:"cache_hits"`
-	Misses       int64   `json:"cache_misses"`
-	ResultsMatch bool    `json:"results_match"`
+	Functions     int     `json:"functions"`
+	Days          int     `json:"days"`
+	TrainDays     int     `json:"train_days"`
+	Seed          int64   `json:"seed"`
+	Shards        int     `json:"shards"`
+	Points        int     `json:"points"`
+	Mode          string  `json:"mode"`
+	ColdMs        float64 `json:"cold_ms"`
+	WarmMs        float64 `json:"warm_ms"`
+	WarmRestartMs float64 `json:"warm_restart_ms,omitempty"`
+	Hits          int64   `json:"cache_hits"`
+	Misses        int64   `json:"cache_misses"`
+	ColdDiskHits  int64   `json:"cold_disk_hits,omitempty"` // non-zero: -cacheDir was pre-populated and cold_ms is disk-warm, not cold
+	DiskHits      int64   `json:"disk_hits,omitempty"`
+	ResultsMatch  bool    `json:"results_match"`
 }
 
 // runSweep executes the scale sweep in-process: per scale and shard count a
@@ -186,27 +201,54 @@ func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
 
 // runCacheSweep measures the incremental sweep cache: a 5-point
 // theta_prewarm sweep (the Figure 13a shape) cold, then warm, through one
-// cache.
-func runCacheSweep(scales []int, shards int, seed int64) ([]CacheSweepResult, error) {
+// cache. With a cacheDir the sweep runs streamed with a disk-backed cache
+// and adds a restart-simulating pass: a fresh in-memory cache over the
+// same entry directory, so every shard outcome restores from disk.
+func runCacheSweep(scales []int, shards int, seed int64, cacheDir string) ([]CacheSweepResult, error) {
 	thetas := []int{1, 2, 3, 5, 10}
 	var out []CacheSweepResult
 	for _, n := range scales {
 		s := experiments.SparseSettings(n, seed)
-		_, train, simTr, err := experiments.BuildWorkload(s)
+
+		var disk *sim.DiskCache
+		newSweep := func(cache *sim.ShardCache) (*sim.Sweep, error) {
+			if cacheDir == "" {
+				_, train, simTr, err := experiments.BuildWorkload(s)
+				if err != nil {
+					return nil, err
+				}
+				return sim.NewSweep(train, simTr, sim.Options{Shards: shards, Cache: cache})
+			}
+			src, err := experiments.StreamSource(s, shards)
+			if err != nil {
+				return nil, err
+			}
+			if cache == nil {
+				cache = sim.NewShardCache()
+			}
+			cache.AttachDisk(disk)
+			return sim.NewStreamedSweep(src, sim.Options{Cache: cache})
+		}
+		mode := "materialized"
+		if cacheDir != "" {
+			mode = "streamed+disk"
+			var err error
+			if disk, err = sim.OpenDiskCache(cacheDir); err != nil {
+				return nil, err
+			}
+		}
+		sweep, err := newSweep(nil)
 		if err != nil {
 			return nil, err
 		}
-		sweep, err := sim.NewSweep(train, simTr, sim.Options{Shards: shards})
-		if err != nil {
-			return nil, err
-		}
-		pass := func() (float64, []*sim.Result, error) {
+
+		pass := func(sw *sim.Sweep) (float64, []*sim.Result, error) {
 			results := make([]*sim.Result, 0, len(thetas))
 			start := time.Now()
 			for _, theta := range thetas {
 				cfg := core.DefaultConfig()
 				cfg.Classify.ThetaPrewarm = theta
-				res, err := sweep.Run(core.New(cfg))
+				res, err := sw.Run(core.New(cfg))
 				if err != nil {
 					return 0, nil, err
 				}
@@ -214,33 +256,68 @@ func runCacheSweep(scales []int, shards int, seed int64) ([]CacheSweepResult, er
 			}
 			return msSince(start), results, nil
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d cold...\n", n, shards)
-		coldMs, coldRes, err := pass()
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d warm...\n", n, shards)
-		warmMs, warmRes, err := pass()
-		if err != nil {
-			return nil, err
-		}
 		// Full-result equivalence (every metric and per-function field;
 		// Overhead excluded as wall clock), not just headline scalars.
-		match := true
-		for i := range coldRes {
-			c, w := *coldRes[i], *warmRes[i]
-			c.Overhead, w.Overhead = 0, 0
-			if !reflect.DeepEqual(&c, &w) {
-				match = false
+		matches := func(a, b []*sim.Result) bool {
+			for i := range a {
+				c, w := *a[i], *b[i]
+				c.Overhead, w.Overhead = 0, 0
+				if !reflect.DeepEqual(&c, &w) {
+					return false
+				}
+			}
+			return true
+		}
+
+		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s cold...\n", n, shards, mode)
+		coldMs, coldRes, err := pass(sweep)
+		if err != nil {
+			return nil, err
+		}
+		coldSt := sweep.Cache().Stats()
+		if coldSt.DiskHits > 0 {
+			// A reused -cacheDir serves the "cold" pass from disk; the
+			// timing is still recorded, but flag it — cold_ms is then a
+			// disk-warm time, not a simulation baseline.
+			fmt.Fprintf(os.Stderr, "benchjson: warning: cold pass restored %d entries from -cacheDir; cold_ms is not a true cold baseline\n", coldSt.DiskHits)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm...\n", n, shards, mode)
+		warmMs, warmRes, err := pass(sweep)
+		if err != nil {
+			return nil, err
+		}
+		match := matches(coldRes, warmRes)
+		st := sweep.Cache().Stats()
+		r := CacheSweepResult{
+			Functions: n, Days: s.Days, TrainDays: s.TrainDays, Seed: seed,
+			Shards: shards, Points: len(thetas), Mode: mode,
+			ColdMs: coldMs, WarmMs: warmMs, ColdDiskHits: coldSt.DiskHits,
+			Hits: st.Hits, Misses: st.Misses, ResultsMatch: match,
+		}
+		if cacheDir != "" {
+			// Restart pass: nothing from this process's in-memory cache may
+			// survive — a fresh cache and a fresh source over the same entry
+			// directory stand in for a restarted process (workload
+			// regeneration excluded: a warm streamed sweep never generates).
+			fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm-after-restart...\n", n, shards, mode)
+			restarted, err := newSweep(sim.NewShardCache())
+			if err != nil {
+				return nil, err
+			}
+			restartMs, restartRes, err := pass(restarted)
+			if err != nil {
+				return nil, err
+			}
+			r.WarmRestartMs = restartMs
+			r.ResultsMatch = match && matches(coldRes, restartRes)
+			rst := restarted.Cache().Stats()
+			r.DiskHits = rst.DiskHits
+			if rst.DiskHits != int64(len(thetas)*shards) {
+				return nil, fmt.Errorf("benchjson: restart pass restored %d entries, want %d (disk cache not hit)",
+					rst.DiskHits, len(thetas)*shards)
 			}
 		}
-		st := sweep.Cache().Stats()
-		out = append(out, CacheSweepResult{
-			Functions: n, Days: s.Days, TrainDays: s.TrainDays, Seed: seed,
-			Shards: shards, Points: len(thetas),
-			ColdMs: coldMs, WarmMs: warmMs,
-			Hits: st.Hits, Misses: st.Misses, ResultsMatch: match,
-		})
+		out = append(out, r)
 	}
 	return out, nil
 }
@@ -276,6 +353,7 @@ func main() {
 	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
 	cacheSweep := flag.String("cacheSweep", "", "comma-separated population sizes for the cold-vs-warm sweep-cache measurement (empty: skip)")
 	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
+	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
 	flag.Parse()
 
 	scales, err := parseInts(*sweep)
@@ -291,6 +369,12 @@ func main() {
 	cacheScales, err := parseInts(*cacheSweep)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: -cacheSweep: %v\n", err)
+		os.Exit(1)
+	}
+	if len(cacheScales) > 0 && *cacheShards < 1 {
+		// Shard counts < 1 would run the sweep uncached (or trip the
+		// restart assertion) while still recording a "cache" measurement.
+		fmt.Fprintf(os.Stderr, "benchjson: -cacheShards must be >= 1, got %d\n", *cacheShards)
 		os.Exit(1)
 	}
 
@@ -350,7 +434,7 @@ func main() {
 		}
 	}
 	if len(cacheScales) > 0 {
-		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed)
+		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed, *cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: cache sweep: %v\n", err)
 			os.Exit(1)

@@ -7,6 +7,14 @@
 //	go run ./cmd/eqvcheck                         # 400 functions, shards 4
 //	go run ./cmd/eqvcheck -functions 10000 -sparse -shards 8 -seeds 3 -stream
 //
+// -stream also exercises the shard cache with a disk tier: a cold, a warm,
+// and a warm-after-restart (fresh in-memory cache over the same entry
+// directory) pass must all match the dense reference. -cachedir persists
+// the entry directory across invocations — CI runs eqvcheck twice against
+// one directory and asserts with -mindiskhits that the second process was
+// served from disk; without -cachedir a temporary directory is used and
+// removed.
+//
 // -streamonly is the memory-guard mode: it never materializes a trace —
 // only streamed engines run, at -shards and 2x -shards, compared against
 // each other — so peak residency stays O(n/shards) and -maxheap can bound
@@ -31,17 +39,55 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eqvcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	functions := flag.Int("functions", 400, "population size")
 	days := flag.Int("days", 8, "trace length in days")
 	trainDays := flag.Int("traindays", 6, "training window in days")
 	shards := flag.Int("shards", 4, "shard count for the sharded engine (0 disables the sharded check)")
 	seeds := flag.Int("seeds", 3, "number of seeds to check")
 	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n regime)")
-	stream := flag.Bool("stream", false, "additionally check the streamed engine (sim.RunStreamed over a generator source) against the dense reference")
+	stream := flag.Bool("stream", false, "additionally check the streamed engine (sim.RunStreamed over a generator source) and the disk-backed shard cache against the dense reference")
 	streamOnly := flag.Bool("streamonly", false, "check only streamed engines (-shards vs 2x -shards) without ever materializing a trace; peak residency stays O(functions/shards)")
 	maxHeap := flag.Uint64("maxheap", 0, "exit non-zero if sampled peak HeapInuse exceeds this many bytes (0: unbounded)")
-	workers := flag.Int("workers", 0, "concurrent shard-run cap (0: one per core); streamed residency is O(functions/shards) PER in-flight worker, so -maxheap bounds need a fixed worker count, not the runner's core count")
+	workers := flag.Int("workers", 0, "concurrent shard-run cap (0: one per core); streamed residency is up to TWO shards (pipelined prefetch) of O(functions/shards) event series PER in-flight worker, so -maxheap bounds need a fixed worker count, not the runner's core count")
+	cacheDir := flag.String("cachedir", "", "disk-cache entry directory for the -stream cache checks (persists across runs; empty: a temporary directory, removed on exit)")
+	minDiskHits := flag.Int("mindiskhits", 0, "fail unless the cold passes were served at least this many shard entries from the disk cache — asserts that a previous process's -cachedir entries survived the restart (0: no assertion)")
 	flag.Parse()
+
+	// Flag validation up front: every bad combination must come back as an
+	// error with exit code 1, never as a library panic's stack trace.
+	if *functions <= 0 {
+		return fmt.Errorf("-functions must be positive, got %d", *functions)
+	}
+	if *days <= 0 {
+		return fmt.Errorf("-days must be positive, got %d", *days)
+	}
+	if *trainDays <= 0 || *trainDays >= *days {
+		return fmt.Errorf("-traindays %d outside (0, %d): the workload needs both a training and a simulation window", *trainDays, *days)
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
+	if *shards < 0 || *workers < 0 {
+		return fmt.Errorf("-shards and -workers must be >= 0, got %d / %d", *shards, *workers)
+	}
+	if *stream && *shards <= 1 {
+		return fmt.Errorf("-stream needs -shards > 1 (a green run must actually exercise the streamed engine)")
+	}
+	if *minDiskHits > 0 && !*stream {
+		return fmt.Errorf("-mindiskhits needs -stream (the disk cache only runs there)")
+	}
+	if *streamOnly && (*stream || *cacheDir != "" || *minDiskHits > 0) {
+		// The streamonly branch never touches the disk cache; accepting
+		// these flags there would silently skip the assertions they imply.
+		return fmt.Errorf("-streamonly cannot be combined with -stream, -cachedir, or -mindiskhits")
+	}
 
 	s := experiments.DefaultSettings()
 	s.Functions = *functions
@@ -51,111 +97,187 @@ func main() {
 		s.TriggerMix = trace.SparseTriggerMix()
 	}
 
-	if *stream && *shards <= 1 {
-		fmt.Fprintln(os.Stderr, "eqvcheck: -stream needs -shards > 1 (a green run must actually exercise the streamed engine)")
-		os.Exit(1)
-	}
-
 	watch := memwatch.Watch()
 	if *streamOnly {
 		if *shards < 1 {
-			fmt.Fprintln(os.Stderr, "eqvcheck: -streamonly needs -shards >= 1")
-			os.Exit(1)
+			return fmt.Errorf("-streamonly needs -shards >= 1")
 		}
 		for seed := int64(1); seed <= int64(*seeds); seed++ {
 			s.Seed = seed
-			a := runStreamed(s, *shards, *workers)
-			b := runStreamed(s, 2*(*shards), *workers)
-			compare(fmt.Sprintf("seed %d: streamed x%d vs x%d", seed, *shards, 2*(*shards)), a, b)
+			a, err := runStreamed(s, *shards, *workers)
+			if err != nil {
+				return err
+			}
+			b, err := runStreamed(s, 2*(*shards), *workers)
+			if err != nil {
+				return err
+			}
+			if err := compare(fmt.Sprintf("seed %d: streamed x%d vs x%d", seed, *shards, 2*(*shards)), a, b); err != nil {
+				return err
+			}
 			fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
 				seed, a.TotalColdStarts, a.TotalWMT, a.TotalMemory)
 		}
-		checkHeap(watch, *maxHeap)
-		return
+		return checkHeap(watch, *maxHeap)
 	}
+
+	// One disk tier is shared by every seed's cache checks; entries are
+	// content-keyed, so seeds never collide.
+	var disk *sim.DiskCache
+	if *stream {
+		dir := *cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "eqvcheck-cache-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var err error
+		disk, err = sim.OpenDiskCache(dir)
+		if err != nil {
+			return err
+		}
+	}
+	var coldDiskHits int64
 
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		s.Seed = seed
 		_, train, simTr, err := experiments.BuildWorkload(s)
 		if err != nil {
-			panic(err)
+			return err
 		}
 		cfgD := core.DefaultConfig()
 		cfgD.DenseScan = true
 		rd, err := sim.Run(core.New(cfgD), train, simTr, sim.Options{})
 		if err != nil {
-			panic(err)
+			return err
 		}
 		re, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{})
 		if err != nil {
-			panic(err)
+			return err
 		}
-		compare(fmt.Sprintf("seed %d: event", seed), rd, re)
+		if err := compare(fmt.Sprintf("seed %d: event", seed), rd, re); err != nil {
+			return err
+		}
 		if *shards > 1 {
 			rs, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
 				sim.Options{Shards: *shards})
 			if err != nil {
-				panic(err)
+				return err
 			}
-			compare(fmt.Sprintf("seed %d: sharded x%d", seed, *shards), rd, rs)
+			if err := compare(fmt.Sprintf("seed %d: sharded x%d", seed, *shards), rd, rs); err != nil {
+				return err
+			}
 		}
 		if *stream {
-			compare(fmt.Sprintf("seed %d: streamed x%d", seed, *shards),
-				rd, runStreamed(s, *shards, *workers))
-			// Shard-cache check: a cold (all-miss) and a warm (all-hit)
-			// sharded run through one cache must both match the reference.
+			rs, err := runStreamed(s, *shards, *workers)
+			if err != nil {
+				return err
+			}
+			if err := compare(fmt.Sprintf("seed %d: streamed x%d", seed, *shards), rd, rs); err != nil {
+				return err
+			}
+
+			// Shard-cache check, through the disk tier: a cold pass (misses
+			// in this process — or disk hits, when -cachedir carries entries
+			// from an earlier process), a warm pass (in-memory hits), and a
+			// warm-after-restart pass (a FRESH in-memory cache over the same
+			// entry directory, so every hit must restore from disk) must all
+			// match the reference.
 			cache := sim.NewShardCache()
-			for _, pass := range []string{"cold", "warm"} {
+			// The assertions below demand exact tier-by-tier traffic, so the
+			// default LRU budget must not evict anything mid-check (a cold
+			// pass at a shard count above the budget would spill entries the
+			// warm pass then restores from disk — correct, but it would trip
+			// the in-memory-hits-only assertion).
+			cache.SetBudget(0, 0)
+			cache.AttachDisk(disk)
+			runCached := func(label string) error {
 				rc, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
 					sim.Options{Shards: *shards, Cache: cache})
 				if err != nil {
-					panic(err)
+					return err
 				}
-				compare(fmt.Sprintf("seed %d: cached (%s) x%d", seed, pass, *shards), rd, rc)
+				return compare(fmt.Sprintf("seed %d: cached (%s) x%d", seed, label, *shards), rd, rc)
 			}
-			if st := cache.Stats(); st.Hits != int64(*shards) || st.Misses != int64(*shards) {
-				fmt.Printf("seed %d: cache stats %+v, want %d hits / %d misses\n", seed, st, *shards, *shards)
-				os.Exit(1)
+			if err := runCached("cold"); err != nil {
+				return err
+			}
+			// Cold pass: one lookup per shard, none served from memory —
+			// every hit must be a disk restore (a pre-warmed -cachedir) and
+			// everything else a miss.
+			coldSt := cache.Stats()
+			if coldSt.Hits+coldSt.Misses != int64(*shards) || coldSt.Hits != coldSt.DiskHits {
+				return fmt.Errorf("seed %d: cold pass stats %+v, want %d lookups with no in-memory hits", seed, coldSt, *shards)
+			}
+			coldDiskHits += coldSt.DiskHits
+			if err := runCached("warm"); err != nil {
+				return err
+			}
+			// Warm pass: every shard must be an IN-MEMORY hit — no misses,
+			// no disk restores. A broken memory tier silently served by
+			// disk (or re-simulating) must fail here.
+			warmSt := cache.Stats()
+			if warmSt.Hits-coldSt.Hits != int64(*shards) || warmSt.Misses != coldSt.Misses || warmSt.DiskHits != coldSt.DiskHits {
+				return fmt.Errorf("seed %d: warm pass stats %+v (after cold %+v), want %d in-memory hits and nothing else", seed, warmSt, coldSt, *shards)
+			}
+
+			restarted := sim.NewShardCache()
+			restarted.AttachDisk(disk)
+			rr, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+				sim.Options{Shards: *shards, Cache: restarted})
+			if err != nil {
+				return err
+			}
+			if err := compare(fmt.Sprintf("seed %d: cached (restart) x%d", seed, *shards), rd, rr); err != nil {
+				return err
+			}
+			if st := restarted.Stats(); st.DiskHits != int64(*shards) {
+				return fmt.Errorf("seed %d: restart pass stats %+v, want %d disk hits (entries did not survive)", seed, st, *shards)
 			}
 		}
 		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
 			seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
 	}
-	checkHeap(watch, *maxHeap)
+	if *minDiskHits > 0 && coldDiskHits < int64(*minDiskHits) {
+		return fmt.Errorf("cold passes restored %d entries from the disk cache, want >= %d (did the -cachedir survive the restart?)", coldDiskHits, *minDiskHits)
+	}
+	if *stream {
+		fmt.Printf("disk cache: %d entries restored on cold passes\n", coldDiskHits)
+	}
+	return checkHeap(watch, *maxHeap)
 }
 
 // runStreamed simulates SPES over the settings' workload through the
 // streamed engine: the trace pair is produced one shard at a time inside
-// the simulation workers.
-func runStreamed(s experiments.Settings, shards, workers int) *sim.Result {
+// the simulation workers, pipelined with their simulations.
+func runStreamed(s experiments.Settings, shards, workers int) (*sim.Result, error) {
 	src, err := experiments.StreamSource(s, shards)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	r, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Workers: workers})
-	if err != nil {
-		panic(err)
-	}
-	return r
+	return sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Workers: workers})
 }
 
 // checkHeap enforces -maxheap over the sampled run.
-func checkHeap(watch *memwatch.Watcher, maxHeap uint64) {
+func checkHeap(watch *memwatch.Watcher, maxHeap uint64) error {
 	peak, after := watch.Finish()
 	fmt.Printf("heap: peak=%d after-gc=%d bytes\n", peak, after)
 	if maxHeap > 0 && peak > maxHeap {
-		fmt.Printf("FAIL: peak heap %d exceeds -maxheap %d (O(n/P) residency regressed?)\n", peak, maxHeap)
-		os.Exit(1)
+		return fmt.Errorf("peak heap %d exceeds -maxheap %d (O(n/P) residency regressed?)", peak, maxHeap)
 	}
+	return nil
 }
 
-// compare exits non-zero with a field-level diff when got differs from the
-// reference (Overhead excluded: wall clock).
-func compare(label string, ref, got *sim.Result) {
+// compare returns an error with a field-level diff when got differs from
+// the reference (Overhead excluded: wall clock).
+func compare(label string, ref, got *sim.Result) error {
 	d, g := *ref, *got
 	d.Overhead, g.Overhead = 0, 0
 	if reflect.DeepEqual(&d, &g) {
-		return
+		return nil
 	}
 	fmt.Printf("%s: MISMATCH\n", label)
 	fmt.Printf("ref:   cold=%d wmt=%d mem=%d emcr=%v max=%d\n", d.TotalColdStarts, d.TotalWMT, d.TotalMemory, d.EMCRSum, d.MaxLoaded)
@@ -179,5 +301,5 @@ func compare(label string, ref, got *sim.Result) {
 			}
 		}
 	}
-	os.Exit(1)
+	return fmt.Errorf("%s: results diverged", label)
 }

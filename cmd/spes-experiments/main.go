@@ -20,6 +20,7 @@ func main() {
 	days := flag.Int("days", 14, "workload: days")
 	trainDays := flag.Int("train-days", 12, "workload: training days")
 	seed := flag.Int64("seed", 1, "workload: seed")
+	cacheDir := flag.String("cache-dir", "", "persist the sweep runners' shard cache to this directory (Figure 13 sweeps restore cached shard outcomes across process restarts)")
 	flag.Parse()
 
 	s := experiments.DefaultSettings()
@@ -27,6 +28,7 @@ func main() {
 	s.Days = *days
 	s.TrainDays = *trainDays
 	s.Seed = *seed
+	s.CacheDir = *cacheDir
 
 	var err error
 	if *fig == "all" {

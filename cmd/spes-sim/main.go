@@ -42,6 +42,21 @@ func run() error {
 	stream := flag.Bool("stream", false, "stream the generated workload one shard at a time into the simulation (sim.RunStreamed): peak memory is O(functions/shards) event series per worker instead of the whole trace, results bit-identical; requires a generated workload (no -trace) and a shardable policy")
 	flag.Parse()
 
+	// Flag validation up front: bad values must come back as errors with
+	// exit code 1, never surface as library panics (trace.Split and
+	// trace.PartitionFunctions treat their arguments as fixed configuration
+	// and panic on nonsense).
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *tracePath == "" {
+		if *functions <= 0 {
+			return fmt.Errorf("-functions must be positive, got %d", *functions)
+		}
+		if *days <= 0 {
+			return fmt.Errorf("-days must be positive, got %d", *days)
+		}
+	}
 	if *stream && *tracePath != "" {
 		return fmt.Errorf("-stream needs a generated workload; it cannot be combined with -trace (materialized CSVs are simulated with -shards)")
 	}
@@ -54,7 +69,7 @@ func run() error {
 		// The trace pair is never materialized here: shard views are
 		// produced by the simulation workers themselves.
 		if *trainDays <= 0 || *trainDays >= *days {
-			return fmt.Errorf("train-days %d out of range for a %d-day trace", *trainDays, *days)
+			return fmt.Errorf("-train-days %d out of range for a %d-day trace", *trainDays, *days)
 		}
 	} else {
 		if *tracePath != "" {
@@ -76,7 +91,7 @@ func run() error {
 		n = full.NumFunctions()
 		splitAt := *trainDays * 1440
 		if splitAt <= 0 || splitAt >= full.Slots {
-			return fmt.Errorf("train-days %d out of range for a %d-slot trace", *trainDays, full.Slots)
+			return fmt.Errorf("-train-days %d out of range for a %d-slot trace", *trainDays, full.Slots)
 		}
 		train, simTr = full.Split(splitAt)
 	}
@@ -116,7 +131,7 @@ func run() error {
 	opts := sim.Options{MeasureOverhead: !*stream && *shards <= 1, Shards: *shards}
 	var res *sim.Result
 	if *stream {
-		src := sim.GeneratorSource{
+		src := &sim.GeneratorSource{
 			Cfg:        trace.DefaultGeneratorConfig(*functions, *days, *seed),
 			TrainSlots: *trainDays * 1440,
 			Shards:     *shards,

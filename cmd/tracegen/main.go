@@ -52,8 +52,19 @@ func main() {
 	trainOut := flag.String("train-o", "train.csv", "training-window CSV path when -train-days is set")
 	flag.Parse()
 
+	// Flag validation up front: bad values must come back as errors with
+	// exit code 1, never surface as library panics (trace.Split and the
+	// shard-range checks treat their arguments as fixed configuration).
+	if *functions <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -functions must be positive, got %d\n", *functions)
+		os.Exit(1)
+	}
+	if *days <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -days must be positive, got %d\n", *days)
+		os.Exit(1)
+	}
 	if *shards < 1 {
-		fmt.Fprintln(os.Stderr, "tracegen: -shards must be >= 1")
+		fmt.Fprintf(os.Stderr, "tracegen: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(1)
 	}
 	if *trainDays < 0 || *trainDays >= *days {
@@ -94,7 +105,7 @@ func main() {
 	// The generator source is the same per-shard iterator the streamed
 	// simulation engine consumes; with -train-days 0 it yields each whole
 	// shard as the "simulation" view.
-	src := sim.GeneratorSource{Cfg: cfg, TrainSlots: *trainDays * 1440, Shards: *shards}
+	src := &sim.GeneratorSource{Cfg: cfg, TrainSlots: *trainDays * 1440, Shards: *shards}
 	written := 0
 	var invocations int64
 	for i := 0; i < src.NumShards(); i++ {

@@ -32,6 +32,13 @@ type Settings struct {
 	// be the unit of work). 0 picks a default. Results are bit-identical
 	// for every value — sharding only changes execution, never outcomes.
 	Shards int
+
+	// CacheDir, when non-empty, backs the sweep runners' shard cache with
+	// an on-disk tier (sim.DiskCache) rooted there, so a re-run of the
+	// Figure 13 sweeps in a fresh process — same settings — restores shard
+	// outcomes instead of re-simulating them. Entries are content-keyed;
+	// results are bit-identical with or without the directory.
+	CacheDir string
 }
 
 // sweepShards resolves the shard count for cache-backed sweep runners.
@@ -98,13 +105,13 @@ func BuildWorkload(s Settings) (full, train, simTr *trace.Trace, err error) {
 // event series per in-flight worker instead of the whole trace. Results are
 // bit-identical to the materialized engines (the streamed equivalence tests
 // assert it).
-func StreamSource(s Settings, shards int) (sim.GeneratorSource, error) {
+func StreamSource(s Settings, shards int) (*sim.GeneratorSource, error) {
 	if err := s.Validate(); err != nil {
-		return sim.GeneratorSource{}, err
+		return nil, err
 	}
 	cfg := trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed)
 	cfg.TriggerMix = s.TriggerMix
-	return sim.GeneratorSource{Cfg: cfg, TrainSlots: s.TrainDays * 1440, Shards: shards}, nil
+	return &sim.GeneratorSource{Cfg: cfg, TrainSlots: s.TrainDays * 1440, Shards: shards}, nil
 }
 
 // SparseSettings returns the scale-experiment configuration: n mostly-idle

@@ -23,13 +23,25 @@ type sweepPoint struct {
 // sweeps sharing a cache are served from it) and renders a (param,
 // normalized memory, Q3-CSR) table. Memory is normalized to the baseline
 // point, which need not come first, so rows are buffered and rendered
-// after the sweep completes; footer lines follow the table.
+// after the sweep completes; footer lines follow the table. With
+// Settings.CacheDir set, the cache spills to (and restores from) that
+// directory, so repeating a sweep in a restarted process re-simulates
+// nothing.
 func runNormalizedSweep(w io.Writer, s Settings, title, header string, pts []sweepPoint, footer ...string) error {
 	_, train, simTr, err := BuildWorkload(s)
 	if err != nil {
 		return err
 	}
-	sweep, err := sim.NewSweep(train, simTr, sim.Options{Shards: s.sweepShards()})
+	opts := sim.Options{Shards: s.sweepShards()}
+	if s.CacheDir != "" {
+		disk, err := sim.OpenDiskCache(s.CacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = sim.NewShardCache()
+		opts.Cache.AttachDisk(disk)
+	}
+	sweep, err := sim.NewSweep(train, simTr, opts)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ package memwatch
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -16,6 +17,10 @@ type Watcher struct {
 	stop chan struct{}
 	done chan struct{}
 	peak uint64
+
+	finish   sync.Once
+	finPeak  uint64
+	finAfter uint64
 }
 
 // Watch collects the heap (so the region starts from live data only) and
@@ -44,16 +49,21 @@ func Watch() *Watcher {
 }
 
 // Finish stops sampling and returns the observed peak HeapInuse plus the
-// post-GC live heap.
+// post-GC live heap. It is idempotent: the measured region ends at the
+// first call, and every later call returns the same snapshot instead of
+// re-closing the stop channel (which used to panic) or re-measuring.
 func (w *Watcher) Finish() (peak, afterGC uint64) {
-	close(w.stop)
-	<-w.done
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	if ms.HeapInuse > w.peak {
-		w.peak = ms.HeapInuse
-	}
-	runtime.GC()
-	runtime.ReadMemStats(&ms)
-	return w.peak, ms.HeapInuse
+	w.finish.Do(func() {
+		close(w.stop)
+		<-w.done
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapInuse > w.peak {
+			w.peak = ms.HeapInuse
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		w.finPeak, w.finAfter = w.peak, ms.HeapInuse
+	})
+	return w.finPeak, w.finAfter
 }

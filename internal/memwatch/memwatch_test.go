@@ -1,0 +1,28 @@
+package memwatch
+
+import "testing"
+
+// TestFinishIdempotent is the regression test for the double-Finish panic:
+// Finish used to close the stop channel unconditionally, so a second call —
+// easy to reach from a CLI's happy path plus its deferred cleanup — crashed
+// with "close of closed channel". Now the first call ends the region and
+// later calls return the same snapshot.
+func TestFinishIdempotent(t *testing.T) {
+	w := Watch()
+	// Allocate a little so the watcher has something to observe.
+	buf := make([]byte, 1<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	_ = buf
+
+	peak1, after1 := w.Finish()
+	if peak1 == 0 {
+		t.Fatal("Finish reported a zero peak heap")
+	}
+	peak2, after2 := w.Finish() // must not panic, must not re-measure
+	if peak2 != peak1 || after2 != after1 {
+		t.Fatalf("second Finish = (%d, %d), want the first call's (%d, %d)",
+			peak2, after2, peak1, after1)
+	}
+}

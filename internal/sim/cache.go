@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -14,7 +15,8 @@ import (
 // fingerprint scheme but differing in window). Two runs with equal keys
 // produce bit-identical per-shard results — that is the cache's entire
 // correctness argument, so every piece must be content-derived, never
-// identity-derived.
+// identity-derived. Content keys are also what makes entries relocatable:
+// DiskCache persists them across process restarts unchanged.
 type shardKey struct {
 	policy string
 	config uint64
@@ -33,6 +35,29 @@ type shardEntry struct {
 	global []trace.FuncID
 }
 
+// bytes estimates the entry's in-memory footprint, the unit of the cache's
+// byte budget. An estimate is fine: the budget bounds growth, it is not an
+// allocator.
+func (e *shardEntry) bytes() int64 {
+	b := int64(256) // struct headers and slice headers
+	b += int64(len(e.res.PerFunc)) * 32
+	for _, t := range e.res.Types {
+		b += int64(len(t)) + 16
+	}
+	b += int64(len(e.log.loaded)+len(e.log.active)) * 4
+	b += int64(len(e.global)) * 4
+	return b
+}
+
+// Default in-memory residency budget of NewShardCache. Entries hold
+// O(shard functions + slots) metrics — no event series — so this admits
+// hundreds of large-scale shard outcomes while bounding what used to be an
+// unbounded map; callers with different needs use SetBudget.
+const (
+	DefaultCacheEntries = 4096
+	DefaultCacheBytes   = 1 << 30
+)
+
 // ShardCache memoizes per-shard simulation outcomes across sharded runs,
 // making parameter sweeps incremental: a sweep point re-simulates only the
 // shards of policies whose configuration changed, and a repeated
@@ -42,56 +67,203 @@ type shardEntry struct {
 // Entries are keyed by content (see shardKey), so the cache is safe to
 // share across traces, policies, shard counts, and goroutines. Memory: one
 // entry holds O(shard functions) metrics plus O(slots) log — the event
-// series themselves are NOT retained, so caching a P-shard run costs about
-// as much as its merged Result.
+// series themselves are NOT retained — and total residency is bounded by a
+// configurable entry/byte budget with LRU eviction (SetBudget), so a long
+// sweep can no longer grow the map without bound. With a DiskCache
+// attached (AttachDisk), every store is written through to disk, evicted
+// entries remain restorable, and lookups fall back to the disk tier —
+// which is how sweeps survive process restarts; without one, evicted
+// entries are simply dropped and re-simulate on the next miss.
 type ShardCache struct {
 	mu      sync.Mutex
-	entries map[shardKey]*shardEntry
-	hits    int64
-	misses  int64
+	entries map[shardKey]*list.Element
+	lru     list.List // front = most recently used; values are *lruEntry
+	bytes   int64
+
+	maxEntries int
+	maxBytes   int64
+
+	disk *DiskCache
+
+	hits      int64
+	misses    int64
+	evictions int64
+	diskHits  int64
+	diskErrs  int64
 }
 
-// NewShardCache returns an empty cache, ready to be set as Options.Cache.
+// lruEntry is one resident cache slot.
+type lruEntry struct {
+	key   shardKey
+	ent   *shardEntry
+	bytes int64
+}
+
+// NewShardCache returns an empty cache with the default residency budget
+// (DefaultCacheEntries / DefaultCacheBytes), ready to be set as
+// Options.Cache.
 func NewShardCache() *ShardCache {
-	return &ShardCache{entries: make(map[shardKey]*shardEntry)}
+	return &ShardCache{
+		entries:    make(map[shardKey]*list.Element),
+		maxEntries: DefaultCacheEntries,
+		maxBytes:   DefaultCacheBytes,
+	}
 }
 
-// lookup returns the cached entry for key, counting a hit or miss.
+// SetBudget replaces the in-memory residency budget: at most maxEntries
+// entries and maxBytes estimated bytes stay resident, least-recently-used
+// evicted first (0 means unlimited for either dimension). The budget is a
+// residency cap, not a correctness bound — an evicted entry re-simulates
+// (or reloads from an attached DiskCache) on its next lookup. The most
+// recently touched entry is never evicted, so a single entry larger than
+// maxBytes still serves its run.
+func (c *ShardCache) SetBudget(maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evictLocked()
+}
+
+// AttachDisk adds an on-disk spill/restore tier: stores write through to
+// d, in-memory misses consult d before re-simulating, and LRU-evicted
+// entries stay restorable from d. Attach before running; entries stored
+// earlier are not retroactively spilled.
+func (c *ShardCache) AttachDisk(d *DiskCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.disk = d
+}
+
+// lookup returns the cached entry for key, counting a hit or miss. The
+// in-memory tier is consulted first; on a miss with a disk tier attached,
+// the entry is restored from disk (outside the lock — disk reads must not
+// serialize other shards' lookups) and re-inserted as most recently used.
 func (c *ShardCache) lookup(key shardKey) *shardEntry {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	ent := c.entries[key]
-	if ent != nil {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
 		c.hits++
-	} else {
-		c.misses++
+		ent := el.Value.(*lruEntry).ent
+		c.mu.Unlock()
+		return ent
 	}
-	return ent
-}
+	disk := c.disk
+	if disk == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
 
-// store records a freshly simulated shard outcome. Two concurrent runs of
-// the same key may both miss and both store; the entries are bit-identical,
-// so last-write-wins is harmless.
-func (c *ShardCache) store(key shardKey, ent *shardEntry) {
+	ent, err := disk.load(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = ent
+	if err != nil {
+		c.diskErrs++
+	}
+	if ent != nil {
+		c.insertLocked(key, ent)
+		c.hits++
+		c.diskHits++
+		return ent
+	}
+	c.misses++
+	return nil
+}
+
+// store records a freshly simulated shard outcome, writing through to the
+// disk tier when one is attached. Two concurrent runs of the same key may
+// both miss and both store; the entries are bit-identical, so
+// last-write-wins is harmless in both tiers.
+func (c *ShardCache) store(key shardKey, ent *shardEntry) {
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		if err := disk.save(key, ent); err != nil {
+			c.mu.Lock()
+			c.diskErrs++
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, ent)
+}
+
+// insertLocked puts (key, ent) at the front of the LRU, replacing any
+// previous entry for the key, then enforces the budget. Callers hold mu.
+func (c *ShardCache) insertLocked(key shardKey, ent *shardEntry) {
+	if el, ok := c.entries[key]; ok {
+		le := el.Value.(*lruEntry)
+		c.bytes += ent.bytes() - le.bytes
+		le.ent = ent
+		le.bytes = ent.bytes()
+		c.lru.MoveToFront(el)
+	} else {
+		le := &lruEntry{key: key, ent: ent, bytes: ent.bytes()}
+		c.entries[key] = c.lru.PushFront(le)
+		c.bytes += le.bytes
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the budget holds,
+// always sparing the most recently used entry. With a disk tier attached
+// eviction is a spill — every resident entry was written through at store
+// time (or restored from disk), so the dropped entry remains on disk;
+// without one it is simply forgotten.
+func (c *ShardCache) evictLocked() {
+	over := func() bool {
+		if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+			return true
+		}
+		if c.maxBytes > 0 && c.bytes > c.maxBytes {
+			return true
+		}
+		return false
+	}
+	for c.lru.Len() > 1 && over() {
+		el := c.lru.Back()
+		le := el.Value.(*lruEntry)
+		c.lru.Remove(el)
+		delete(c.entries, le.key)
+		c.bytes -= le.bytes
+		c.evictions++
+	}
 }
 
 // CacheStats reports a cache's traffic: Hits and Misses count lookups by
-// qualified runs (non-qualified runs bypass the cache without counting),
-// Entries the distinct shard outcomes retained.
+// qualified runs (non-qualified runs bypass the cache without counting) —
+// DiskHits is the subset of Hits served by restoring a disk entry rather
+// than from memory. Entries and Bytes describe current in-memory residency
+// (Bytes is the budget's estimate); Evictions counts entries pushed out by
+// the LRU budget, and DiskErrors counts disk-tier I/O failures (each of
+// which degraded to a miss or a skipped write, never a wrong result).
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits       int64
+	Misses     int64
+	Entries    int
+	Bytes      int64
+	Evictions  int64
+	DiskHits   int64
+	DiskErrors int64
 }
 
 // Stats snapshots the cache counters.
 func (c *ShardCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		Evictions:  c.evictions,
+		DiskHits:   c.diskHits,
+		DiskErrors: c.diskErrs,
+	}
 }
 
 // Sweep runs many policy configurations over one fixed workload with shard
@@ -123,7 +295,8 @@ func NewSweep(train, simTr *trace.Trace, opts Options) (*Sweep, error) {
 
 // NewStreamedSweep prepares an incremental sweep over a streamed Source:
 // sweep points additionally skip shard production on cache hits (a warm
-// generator-backed sweep never generates at all).
+// generator-backed sweep never generates at all — and with a disk-backed
+// cache, neither does a warm sweep in a restarted process).
 func NewStreamedSweep(src Source, opts Options) (*Sweep, error) {
 	if src == nil {
 		return nil, fmt.Errorf("sim: sweep needs a source")

@@ -35,7 +35,9 @@ type Options struct {
 
 	// Workers caps how many simulations (policy runs in RunAll, shard runs
 	// under Shards > 1 — the two share one budget) execute concurrently.
-	// 0 means one per available core.
+	// 0 means one per available core. Each sharded worker may additionally
+	// run ONE overlapped shard production (the pipelined prefetch), so a
+	// streamed run holds at most two shards' event series per worker.
 	Workers int
 
 	// Source, when non-nil, replaces the materialized train/sim trace pair:
@@ -386,8 +388,9 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 
 // RunStreamed simulates the policy over a Source: the sharded engine with
 // the shard as the unit of residency. Each worker produces its shard's
-// train/sim views (src.Shard) while holding a worker token, simulates them,
-// and drops the series before taking the next shard, so peak memory is
+// train/sim views (src.Shard) while holding a worker token, simulates them
+// — prefetching its next shard's views concurrently — and drops the series
+// before taking the next shard, so peak memory is at most two shards'
 // O(n/P) event series per in-flight worker plus the O(n) merged result —
 // never the full trace. The merge is identical to the materialized sharded
 // engine's, so results are bit-identical to Run over the equivalent trace
@@ -418,8 +421,10 @@ func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*
 // runShardedSrc simulates one fresh policy instance per source shard
 // (concurrently, bounded by the worker budget) and merges the shard
 // results. Shard views are produced by the worker that simulates them,
-// inside its token hold, which is what bounds streamed residency; when a
-// ShardCache is in play, a hit skips production and simulation entirely.
+// inside its token hold — pipelined with the previous shard's simulation
+// (see the worker loop below) — which is what bounds streamed residency;
+// when a ShardCache is in play, a hit skips production and simulation
+// entirely.
 //
 // The merge is deterministic and bit-identical to the unsharded engine:
 //   - Per-function metrics and type labels are scattered back through each
@@ -442,9 +447,9 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	inner := opts
 	inner.Shards = 0
 	inner.shardSet = nil
-	// Worker tokens are taken by the shard goroutines below, around view
-	// production AND simulation, so a streamed source never has more than
-	// Workers shards resident; runOne must not re-acquire.
+	// Worker tokens are taken by the worker loops below, around simulation
+	// plus one overlapped prefetch, so a streamed source never has more
+	// than two shards resident per worker; runOne must not re-acquire.
 	pool := opts.pool
 	inner.pool = nil
 	if opts.Progress != nil {
@@ -473,62 +478,107 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	logs := make([]*slotLog, p)
 	globals := make([][]trace.FuncID, p)
 	errs := make([]error, p)
-	runShard := func(i int) {
-		var key shardKey
-		cacheable := false
+
+	// The shard run is split into two stages so workers can pipeline them:
+	// produce (cache lookup — including the disk tier — and, on a miss,
+	// shard view production) and simulate. Producing shard i is independent
+	// of every other shard, so a worker can overlap shard j's production
+	// with shard i's simulation; simulation order and the merge stay
+	// untouched, so the pipelining is invisible in the results.
+	produce := func(i int) producedShard {
+		var ps producedShard
 		if cache != nil && hasher != nil && fps != nil {
 			if fp, ok := fps.ShardFingerprint(i); ok {
-				key = shardKey{
+				ps.key = shardKey{
 					policy: policy.Name(),
 					config: hasher.ConfigHash(),
 					trace:  fp,
 					slots:  slots,
 				}
-				cacheable = true
-				if ent := cache.lookup(key); ent != nil {
-					results[i], logs[i], globals[i] = ent.res, ent.log, ent.global
-					return
+				ps.cacheable = true
+				if ent := cache.lookup(ps.key); ent != nil {
+					ps.ent = ent
+					return ps
 				}
 			}
 		}
-		train, sim, err := src.Shard(i)
-		if err != nil {
-			errs[i] = fmt.Errorf("producing shard: %w", err)
+		ps.train, ps.sim, ps.err = src.Shard(i)
+		return ps
+	}
+	simulate := func(i int, ps producedShard) {
+		if ps.ent != nil {
+			results[i], logs[i], globals[i] = ps.ent.res, ps.ent.log, ps.ent.global
 			return
 		}
-		globals[i] = sim.Global
+		if ps.err != nil {
+			errs[i] = fmt.Errorf("producing shard: %w", ps.err)
+			return
+		}
+		globals[i] = ps.sim.Global
 		logs[i] = &slotLog{
 			loaded: make([]int32, 0, slots),
 			active: make([]int32, 0, slots),
 		}
 		var tr *trace.Trace
-		if train != nil {
-			tr = train.Trace
+		if ps.train != nil {
+			tr = ps.train.Trace
 		}
-		results[i], errs[i] = runOne(sp.NewShard(), tr, sim.Trace, inner, logs[i])
-		if cacheable && errs[i] == nil {
-			cache.store(key, &shardEntry{res: results[i], log: logs[i], global: globals[i]})
+		results[i], errs[i] = runOne(sp.NewShard(), tr, ps.sim.Trace, inner, logs[i])
+		if ps.cacheable && errs[i] == nil {
+			cache.store(ps.key, &shardEntry{res: results[i], log: logs[i], global: globals[i]})
 		}
 	}
+
 	if opts.MeasureOverhead {
-		// Sequential: per-Tick timings must not contend for cores. One shard
-		// resident at a time — the minimal-memory path.
+		// Sequential and unpipelined: per-Tick timings must not contend for
+		// cores. One shard resident at a time — the minimal-memory path.
 		for i := 0; i < p; i++ {
-			runShard(i)
+			simulate(i, produce(i))
 		}
 	} else {
+		// Pipelined workers: shards are assigned round-robin to
+		// min(workers, p) static workers. Each worker holds ONE token for
+		// its whole stride, and while it simulates shard i it prefetches
+		// its NEXT assigned shard in a helper goroutine — so shard i+S's
+		// generation (or disk restore) overlaps shard i's simulation inside
+		// the token hold. Holding the token across the stride (rather than
+		// per shard) is what makes "at most TWO shards' event series per
+		// in-flight worker" a real bound: a worker that released between
+		// shards would sit in the token queue with its prefetched shard
+		// resident but untokened, and a RunAll sharing the pool across
+		// policies could then exceed the bound by a factor of the policy
+		// count.
 		if pool == nil {
 			pool = make(chan struct{}, opts.workers())
 		}
+		workers := cap(pool)
+		if workers > p {
+			workers = p
+		}
 		var wg sync.WaitGroup
-		for i := 0; i < p; i++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(i int) {
+			go func(w int) {
 				defer wg.Done()
 				pool <- struct{}{}
 				defer func() { <-pool }()
-				runShard(i)
-			}(i)
+				var next chan producedShard
+				for i := w; i < p; i += workers {
+					var ps producedShard
+					if next != nil {
+						ps = <-next
+						next = nil
+					} else {
+						ps = produce(i)
+					}
+					if j := i + workers; j < p {
+						ch := make(chan producedShard, 1)
+						next = ch
+						go func(j int) { ch <- produce(j) }(j)
+					}
+					simulate(i, ps)
+				}
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -539,6 +589,17 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	}
 
 	return mergeShardResults(policy.Name(), slots, src.NumFunctions(), globals, results, logs), nil
+}
+
+// producedShard is the output of the produce stage of a pipelined shard
+// run: either a cache entry (hit — nothing to simulate) or the train/sim
+// views plus the key to store a fresh outcome under.
+type producedShard struct {
+	ent        *shardEntry
+	train, sim *trace.ShardView
+	key        shardKey
+	cacheable  bool
+	err        error
 }
 
 // mergeShardResults folds per-shard results into the population-global

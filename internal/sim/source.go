@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync"
 
 	"repro/internal/trace"
 )
@@ -53,21 +54,33 @@ type SourceFingerprint interface {
 }
 
 // GeneratorSource streams the synthetic workload trace.Generate(cfg) would
-// produce, one population shard at a time via trace.GenerateShard, split at
-// TrainSlots into training and simulation halves. Simulating it with
-// RunStreamed is bit-identical to materializing the full trace, splitting,
-// and running with Options.Shards — the generator lays out one user per
-// correlation component in first-function order, so GenerateShard's
-// user-mod-P selection coincides with the canonical PartitionFunctions
-// round-robin (asserted by the streamed equivalence tests).
+// produce, one population shard at a time, split at TrainSlots into
+// training and simulation halves. Simulating it with RunStreamed is
+// bit-identical to materializing the full trace, splitting, and running
+// with Options.Shards — the generator lays out one user per correlation
+// component in first-function order, so the layout's user-mod-P selection
+// coincides with the canonical PartitionFunctions round-robin (asserted by
+// the streamed equivalence tests).
+//
+// The structural pass (trace.BuildGenLayout) runs once, lazily, and is
+// shared by all Shard calls — shard production synthesizes only the
+// selected shard's series from the recorded per-function seeds, so
+// producing all P shards costs one structural pass total instead of P.
+// Methods are on the pointer because of that shared state; the zero-cost
+// literal &GeneratorSource{...} is the way to build one. Shard is safe to
+// call concurrently.
 type GeneratorSource struct {
 	Cfg        trace.GeneratorConfig
 	TrainSlots int // split point; 0 yields no training half
 	Shards     int // shard count; values < 1 mean 1
+
+	layoutOnce sync.Once
+	layout     *trace.GenLayout
+	layoutErr  error
 }
 
 // NumShards implements Source.
-func (g GeneratorSource) NumShards() int {
+func (g *GeneratorSource) NumShards() int {
 	if g.Shards < 1 {
 		return 1
 	}
@@ -75,19 +88,31 @@ func (g GeneratorSource) NumShards() int {
 }
 
 // NumFunctions implements Source.
-func (g GeneratorSource) NumFunctions() int { return g.Cfg.Functions }
+func (g *GeneratorSource) NumFunctions() int { return g.Cfg.Functions }
 
 // Slots implements Source.
-func (g GeneratorSource) Slots() int { return g.Cfg.Days*1440 - g.TrainSlots }
+func (g *GeneratorSource) Slots() int { return g.Cfg.Days*1440 - g.TrainSlots }
 
-// Shard implements Source: generate shard i (structural draws replayed,
-// only this shard's series synthesized) and split it.
-func (g GeneratorSource) Shard(i int) (train, sim *trace.ShardView, err error) {
+// sharedLayout builds the structural layout on first use.
+func (g *GeneratorSource) sharedLayout() (*trace.GenLayout, error) {
+	g.layoutOnce.Do(func() {
+		g.layout, g.layoutErr = trace.BuildGenLayout(g.Cfg)
+	})
+	return g.layout, g.layoutErr
+}
+
+// Shard implements Source: synthesize shard i's series from the shared
+// structural layout and split it.
+func (g *GeneratorSource) Shard(i int) (train, sim *trace.ShardView, err error) {
 	full := g.Cfg.Days * 1440
 	if g.TrainSlots < 0 || g.TrainSlots >= full {
 		return nil, nil, fmt.Errorf("sim: generator source train slots %d outside [0, %d)", g.TrainSlots, full)
 	}
-	sh, err := trace.GenerateShard(g.Cfg, i, g.NumShards())
+	l, err := g.sharedLayout()
+	if err != nil {
+		return nil, nil, err
+	}
+	sh, err := l.Shard(i, g.NumShards())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,7 +131,7 @@ func (g GeneratorSource) Shard(i int) (train, sim *trace.ShardView, err error) {
 // generation entirely. It deliberately differs from the content fingerprint
 // of a materialized shardSet (distinct domain tags): the two never share
 // cache entries, which forgoes some hits but can never alias.
-func (g GeneratorSource) ShardFingerprint(i int) (uint64, bool) {
+func (g *GeneratorSource) ShardFingerprint(i int) (uint64, bool) {
 	return HashConfig(struct {
 		Domain     string
 		Cfg        trace.GeneratorConfig

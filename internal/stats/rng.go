@@ -158,5 +158,12 @@ func (g *RNG) WeightedChoice(weights []float64) int {
 // from the parent. Each function's invocation series is generated from its
 // own child RNG so that adding functions does not perturb existing ones.
 func (g *RNG) Split() *RNG {
-	return NewRNG(g.r.Int63())
+	return NewRNG(g.SplitSeed())
 }
+
+// SplitSeed draws the seed Split would hand its child, without constructing
+// the child. A child built later with NewRNG(seed) produces the exact stream
+// Split's would have: seeding is the entirety of a split, so a structural
+// pass can record one int64 per function and defer (or skip) the expensive
+// child-source construction until the series is actually synthesized.
+func (g *RNG) SplitSeed() int64 { return g.r.Int63() }

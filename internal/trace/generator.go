@@ -157,22 +157,69 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 // GenerateShard synthesizes only shard i of p of the trace Generate(cfg)
 // would produce: exactly the functions Partition/ShardBy would place in
 // that shard, with bit-identical series, densely re-IDed, and the global
-// FuncID mapping filled in. The structural draws (user/app layout, trigger
-// assignment) are replayed for every function so the shard's RNG streams
-// match the full generation, but series are only synthesized — and only
-// held in memory — for the selected shard, so a 1M-function trace can be
-// produced one shard at a time without ever materializing the whole
-// population. The union of all p shards is Generate(cfg), function for
-// function.
+// FuncID mapping filled in. Series are only synthesized — and only held in
+// memory — for the selected shard, so a 1M-function trace can be produced
+// one shard at a time without ever materializing the whole population. The
+// union of all p shards is Generate(cfg), function for function.
+//
+// Each call replays the structural pass (BuildGenLayout); callers producing
+// several shards of one config should build the layout once and call
+// GenLayout.Shard, which skips the replay — sim.GeneratorSource does.
 func GenerateShard(cfg GeneratorConfig, i, p int) (*ShardView, error) {
+	if p <= 0 || i < 0 || i >= p {
+		// Reject before the O(n) structural pass, not after it.
+		return nil, fmt.Errorf("trace: shard %d of %d out of range", i, p)
+	}
+	l, err := BuildGenLayout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return l.Shard(i, p)
+}
+
+// GenLayout is the structural skeleton of a generated trace: the user/app
+// layout, each function's trigger, and the seed of the child RNG its series
+// draws from. The generator's two RNG phases split here — the structural
+// draws all come from the main seed-derived stream and are captured by one
+// O(n) pass, while every series draw comes from a per-function child RNG
+// whose seed the pass records (stats.RNG.SplitSeed) — so shard synthesis
+// needs no structural replay at all: unselected apps are skipped outright,
+// and producing all P shards of one layout costs one structural pass total
+// instead of P (the regime that made single-core streamed runs ~1.9x a
+// materialized one). A layout is immutable after BuildGenLayout and safe
+// for concurrent Shard calls; it costs ~12 bytes per function.
+type GenLayout struct {
+	cfg   GeneratorConfig
+	slots int
+
+	apps  []layoutApp
+	trigs []Trigger // per global FuncID
+	seeds []int64   // per global FuncID: series child-RNG seed
+}
+
+// layoutApp is one application's structural record: identity (rendered into
+// names on demand — user%05d / app%06d), its span of global FuncIDs, and
+// whether its functions form an invocation chain.
+type layoutApp struct {
+	user    int32
+	app     int32
+	first   int32 // global FuncID of function 0
+	size    int16
+	chained bool
+}
+
+// BuildGenLayout runs the generator's structural pass once: every draw the
+// full generation takes from the main RNG stream — user/app cardinalities,
+// chain flags, per-function split seeds and trigger choices, in exactly
+// Generate's order — is taken here, and the per-function series seeds are
+// recorded instead of being consumed, so synthesis can happen later, per
+// shard, without perturbing or replaying the stream.
+func BuildGenLayout(cfg GeneratorConfig) (*GenLayout, error) {
 	if cfg.Functions <= 0 {
 		return nil, fmt.Errorf("trace: config needs a positive function count, got %d", cfg.Functions)
 	}
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("trace: config needs a positive day count, got %d", cfg.Days)
-	}
-	if p <= 0 || i < 0 || i >= p {
-		return nil, fmt.Errorf("trace: shard %d of %d out of range", i, p)
 	}
 	mix := cfg.TriggerMix
 	if len(mix) == 0 {
@@ -188,38 +235,96 @@ func GenerateShard(cfg GeneratorConfig, i, p int) (*ShardView, error) {
 		cfg.MeanAppsPerUser = 1
 	}
 
-	slots := cfg.Days * 1440
 	g := stats.NewRNG(cfg.Seed)
-	sh := &ShardView{Trace: NewTrace(slots), Index: i}
+	l := &GenLayout{
+		cfg:   cfg,
+		slots: cfg.Days * 1440,
+		trigs: make([]Trigger, cfg.Functions),
+		seeds: make([]int64, cfg.Functions),
+	}
 
 	// Every generated user is one correlation component (apps are never
 	// shared across users), and users appear in first-function order, so the
 	// canonical partition assigns user u to shard u mod p — which is what
 	// shard-streamed generation relies on to select users up front.
-	userID := 0
-	appID := 0
+	userID := int32(0)
+	appID := int32(0)
 	nextGlobal := 0
 	remaining := cfg.Functions
 	for remaining > 0 {
-		user := fmt.Sprintf("user%05d", userID)
-		selected := userID%p == i
-		userID++
 		nApps := sampleSize(g, cfg.MeanAppsPerUser)
 		for a := 0; a < nApps && remaining > 0; a++ {
-			app := fmt.Sprintf("app%06d", appID)
-			appID++
 			size := sampleSize(g, cfg.MeanAppSize)
 			if size > remaining {
 				size = remaining
 			}
 			remaining -= size
-			if selected {
-				for k := 0; k < size; k++ {
-					sh.Global = append(sh.Global, FuncID(nextGlobal+k))
+			// generateApp's draw order, structural part only: the chain flag
+			// (drawn only for multi-function apps — the && short-circuit is
+			// part of the stream contract), then per function the series
+			// split seed followed by the trigger choice.
+			chained := size >= 2 && g.Bool(cfg.ChainFraction)
+			for k := 0; k < size; k++ {
+				l.seeds[nextGlobal+k] = g.SplitSeed()
+				l.trigs[nextGlobal+k] = Trigger(g.WeightedChoice(mix))
+			}
+			l.apps = append(l.apps, layoutApp{
+				user: userID, app: appID,
+				first: int32(nextGlobal), size: int16(size), chained: chained,
+			})
+			appID++
+			nextGlobal += size
+		}
+		userID++
+	}
+	return l, nil
+}
+
+// NumFunctions returns the laid-out population size.
+func (l *GenLayout) NumFunctions() int { return len(l.trigs) }
+
+// Shard synthesizes shard i of p from the layout: series for exactly the
+// functions of users u with u mod p == i, in global order, bit-identical to
+// GenerateShard (and, unioned over all shards, to Generate). Only the
+// selected shard's apps do any RNG work — each function's child RNG is
+// reconstructed from its recorded seed.
+func (l *GenLayout) Shard(i, p int) (*ShardView, error) {
+	if p <= 0 || i < 0 || i >= p {
+		return nil, fmt.Errorf("trace: shard %d of %d out of range", i, p)
+	}
+	sh := &ShardView{Trace: NewTrace(l.slots), Index: i}
+	for _, a := range l.apps {
+		if int(a.user)%p != i {
+			continue
+		}
+		user := fmt.Sprintf("user%05d", a.user)
+		app := fmt.Sprintf("app%06d", a.app)
+		var driverEvents []Event
+		for k := 0; k < int(a.size); k++ {
+			fid := int(a.first) + k
+			fg := stats.NewRNG(l.seeds[fid])
+			trig := l.trigs[fid]
+			name := fmt.Sprintf("%s-f%02d", app, k)
+
+			var events []Event
+			if a.chained && k > 0 && len(driverEvents) > 0 {
+				// Followers fire a small lag after the driver, with dropout:
+				// function chaining / fan-out behaviour (Section III-B2). The
+				// follower keeps its sampled trigger so the population
+				// matches Figure 5's proportions.
+				events = chainFollower(fg, driverEvents, l.slots)
+			} else {
+				arch := Archetype(fg.WeightedChoice(archetypeMixFor(trig)))
+				events = synthesize(arch, fg, l.slots)
+				if l.cfg.ShiftFraction > 0 && fg.Bool(l.cfg.ShiftFraction) {
+					events = applyShift(fg, events, l.slots)
+				}
+				if k == 0 {
+					driverEvents = events
 				}
 			}
-			generateApp(sh.Trace, g, cfg, mix, user, app, size, selected)
-			nextGlobal += size
+			sh.Trace.AddFunction(name, app, user, trig, events)
+			sh.Global = append(sh.Global, FuncID(fid))
 		}
 	}
 	return sh, nil
@@ -238,44 +343,6 @@ func sampleSize(g *stats.RNG, mean float64) int {
 		n++
 	}
 	return n
-}
-
-// generateApp emits one application's functions, possibly linked in a chain.
-// When selected is false the app is structurally replayed but not emitted:
-// the main RNG stream advances by exactly the same draws (the per-function
-// series RNG is split off and discarded), so skipped apps leave selected
-// shards' series untouched.
-func generateApp(tr *Trace, g *stats.RNG, cfg GeneratorConfig, mix []float64, user, app string, size int, selected bool) {
-	chained := size >= 2 && g.Bool(cfg.ChainFraction)
-
-	var driverEvents []Event
-	for i := 0; i < size; i++ {
-		fg := g.Split()
-		trig := Trigger(g.WeightedChoice(mix))
-		if !selected {
-			continue // series draws all come from fg, which is discarded
-		}
-		name := fmt.Sprintf("%s-f%02d", app, i)
-
-		var events []Event
-		if chained && i > 0 && len(driverEvents) > 0 {
-			// Followers fire a small lag after the driver, with dropout:
-			// function chaining / fan-out behaviour (Section III-B2). The
-			// follower keeps its sampled trigger so the population matches
-			// Figure 5's proportions.
-			events = chainFollower(fg, driverEvents, tr.Slots)
-		} else {
-			arch := Archetype(fg.WeightedChoice(archetypeMixFor(trig)))
-			events = synthesize(arch, fg, tr.Slots)
-			if cfg.ShiftFraction > 0 && fg.Bool(cfg.ShiftFraction) {
-				events = applyShift(fg, events, tr.Slots)
-			}
-			if i == 0 {
-				driverEvents = events
-			}
-		}
-		tr.AddFunction(name, app, user, trig, events)
-	}
 }
 
 // chainFollower derives a follower series from its driver: each driver

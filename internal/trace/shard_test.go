@@ -204,3 +204,39 @@ func TestTracegenShardedCSVRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestGenLayoutReuseMatchesPerCallGeneration covers the shared-layout path
+// sim.GeneratorSource rides: one BuildGenLayout serving every Shard(i, p)
+// call — including repeated calls for the same i — must reproduce the
+// per-call GenerateShard (which rebuilds the layout each time) exactly.
+func TestGenLayoutReuseMatchesPerCallGeneration(t *testing.T) {
+	cfg := DefaultGeneratorConfig(300, 2, 9)
+	l, err := BuildGenLayout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumFunctions() != cfg.Functions {
+		t.Fatalf("layout holds %d functions, want %d", l.NumFunctions(), cfg.Functions)
+	}
+	const p = 3
+	for i := 0; i < p; i++ {
+		want, err := GenerateShard(cfg, i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ { // repeated calls must be identical
+			got, err := l.Shard(i, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Global, want.Global) ||
+				!reflect.DeepEqual(got.Functions, want.Functions) ||
+				!reflect.DeepEqual(got.Series, want.Series) {
+				t.Fatalf("shard %d rep %d: shared-layout shard differs from per-call generation", i, rep)
+			}
+		}
+	}
+	if _, err := l.Shard(p, p); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+}
