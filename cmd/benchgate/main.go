@@ -1,0 +1,235 @@
+// Command benchgate turns the repository's BENCH_<n>.json trajectory into a
+// CI regression gate: it compares a freshly generated benchjson snapshot
+// against the latest committed baseline and fails when the tree got
+// meaningfully slower or bigger — so an O(n) accounting regression or an
+// O(n/P)-residency leak fails the PR instead of landing silently behind
+// green tests.
+//
+//	go run ./cmd/benchjson -out /tmp/bench_pr.json -benchtime 1s -sweep 600 -sweepShards 1,16
+//	go run ./cmd/benchgate -current /tmp/bench_pr.json
+//
+// Comparisons (only keys present in BOTH snapshots are compared):
+//   - per-Tick benchmark ns/op, by benchmark name;
+//   - scale-sweep full-simulation wall time, by (functions, shards, mode);
+//   - scale-sweep heap_peak_bytes, same key.
+//
+// Tolerances are deliberately generous — CI runners are shared and differ
+// from the machine that produced the baseline. Time violations (default
+// 2.5x) WARN unless -fail-on-time is set: wall clock across heterogeneous
+// runners is advisory. Heap violations (default 1.3x beyond an absolute
+// -heap-slack) always fail: residency is machine-independent, so a peak
+// that grew 1.3x is a real regression, not noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// benchmark and sweepPoint mirror the benchjson Snapshot fields the gate
+// reads; unknown fields are ignored, so the formats can grow.
+type benchmark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type sweepPoint struct {
+	Functions     int     `json:"functions"`
+	Shards        int     `json:"shards"`
+	Mode          string  `json:"mode"`
+	FullSimMs     float64 `json:"full_sim_ms"`
+	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
+}
+
+type snapshot struct {
+	Generated  string       `json:"generated"`
+	Benchmarks []benchmark  `json:"benchmarks"`
+	Sweep      []sweepPoint `json:"scale_sweep"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	current := flag.String("current", "", "freshly generated benchjson snapshot to gate (required)")
+	baseline := flag.String("baseline", "", "baseline snapshot (empty: the highest-numbered BENCH_<n>.json under -dir)")
+	dir := flag.String("dir", ".", "directory searched for committed BENCH_<n>.json baselines")
+	timeTol := flag.Float64("time-tol", 2.5, "fail/warn when a timing exceeds baseline by this factor")
+	heapTol := flag.Float64("heap-tol", 1.3, "fail when a sweep point's heap peak exceeds baseline by this factor")
+	heapSlack := flag.Int64("heap-slack", 8<<20, "absolute heap growth (bytes) ignored regardless of ratio — GC timing jitter floor for small heaps")
+	failOnTime := flag.Bool("fail-on-time", false, "treat timing violations as failures instead of warnings")
+	flag.Parse()
+
+	if *current == "" {
+		return fmt.Errorf("-current is required (generate it with cmd/benchjson)")
+	}
+	if *timeTol <= 1 || *heapTol <= 1 {
+		return fmt.Errorf("-time-tol and -heap-tol must be > 1, got %v / %v", *timeTol, *heapTol)
+	}
+	basePath := *baseline
+	if basePath == "" {
+		var err error
+		basePath, err = latestBaseline(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	base, err := readSnapshot(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readSnapshot(*current)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchgate: %s (generated %s) vs baseline %s (generated %s)\n",
+		*current, cur.Generated, basePath, base.Generated)
+
+	warnings, failures := 0, 0
+	report := func(hard bool, format string, args ...any) {
+		if hard {
+			failures++
+			fmt.Printf("FAIL  "+format+"\n", args...)
+		} else {
+			warnings++
+			fmt.Printf("WARN  "+format+"\n", args...)
+		}
+	}
+
+	// Per-Tick benchmarks by name.
+	baseBench := make(map[string]benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBench[b.Name] = b
+	}
+	compared := 0
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBench[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if c.NsPerOp <= 0 {
+			// A zero on the CURRENT side means the fresh snapshot is broken
+			// (field drift, parse failure) — a 0/base ratio would wave every
+			// regression through, so it hard-fails instead.
+			report(true, "%s: current snapshot has no timing (baseline %.0f ns/op)", c.Name, b.NsPerOp)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		if ratio > *timeTol {
+			report(*failOnTime, "%s: %.0f ns/op vs %.0f baseline (%.2fx > %.2fx)",
+				c.Name, c.NsPerOp, b.NsPerOp, ratio, *timeTol)
+		} else {
+			fmt.Printf("ok    %s: %.0f ns/op vs %.0f baseline (%.2fx)\n", c.Name, c.NsPerOp, b.NsPerOp, ratio)
+		}
+	}
+
+	// Sweep points by (functions, shards, mode).
+	type sweepKey struct {
+		functions, shards int
+		mode              string
+	}
+	baseSweep := make(map[sweepKey]sweepPoint, len(base.Sweep))
+	for _, p := range base.Sweep {
+		baseSweep[sweepKey{p.Functions, p.Shards, p.Mode}] = p
+	}
+	heapCompared := 0
+	for _, c := range cur.Sweep {
+		p, ok := baseSweep[sweepKey{c.Functions, c.Shards, c.Mode}]
+		if !ok {
+			continue
+		}
+		compared++
+		label := fmt.Sprintf("sweep n=%d x%d %s", c.Functions, c.Shards, c.Mode)
+		if p.FullSimMs > 0 && c.FullSimMs <= 0 {
+			report(true, "%s: current snapshot has no wall time (baseline %.1fms)", label, p.FullSimMs)
+		}
+		if p.FullSimMs > 0 && c.FullSimMs > 0 {
+			ratio := c.FullSimMs / p.FullSimMs
+			if ratio > *timeTol {
+				report(*failOnTime, "%s: full sim %.1fms vs %.1fms baseline (%.2fx > %.2fx)",
+					label, c.FullSimMs, p.FullSimMs, ratio, *timeTol)
+			} else {
+				fmt.Printf("ok    %s: full sim %.1fms vs %.1fms baseline (%.2fx)\n", label, c.FullSimMs, p.FullSimMs, ratio)
+			}
+		}
+		if p.HeapPeakBytes > 0 && c.HeapPeakBytes == 0 {
+			report(true, "%s: current snapshot has no heap peak (baseline %d) — sampling broken?", label, p.HeapPeakBytes)
+		}
+		if p.HeapPeakBytes > 0 && c.HeapPeakBytes > 0 {
+			heapCompared++
+			ratio := float64(c.HeapPeakBytes) / float64(p.HeapPeakBytes)
+			if ratio > *heapTol && c.HeapPeakBytes > p.HeapPeakBytes+uint64(*heapSlack) {
+				report(true, "%s: heap peak %d vs %d baseline (%.2fx > %.2fx beyond %d slack)",
+					label, c.HeapPeakBytes, p.HeapPeakBytes, ratio, *heapTol, *heapSlack)
+			} else {
+				fmt.Printf("ok    %s: heap peak %d vs %d baseline (%.2fx)\n", label, c.HeapPeakBytes, p.HeapPeakBytes, ratio)
+			}
+		}
+	}
+
+	if compared == 0 {
+		// A gate that silently compares nothing would pass forever; an empty
+		// intersection means the pinned CI sweep and the baseline diverged.
+		return fmt.Errorf("no comparable entries between %s and %s — re-pin the CI sweep or regenerate the baseline", *current, basePath)
+	}
+	if heapCompared == 0 {
+		// Heap is the only hard-failing check, so its disappearance (e.g. a
+		// baseline committed from a sweep-less benchjson run) must itself
+		// fail the gate, not degrade it to warnings-only.
+		return fmt.Errorf("no heap comparisons between %s and %s — the baseline must keep the pinned sweep shape (see DESIGN.md)", *current, basePath)
+	}
+	fmt.Printf("benchgate: %d comparisons, %d warnings, %d failures\n", compared, warnings, failures)
+	if failures > 0 {
+		return fmt.Errorf("%d regression(s) beyond tolerance", failures)
+	}
+	return nil
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestBaseline picks the highest-numbered BENCH_<n>.json in dir.
+func latestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			bestN, best = n, filepath.Join(dir, e.Name())
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline found under %s", dir)
+	}
+	return best, nil
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 && len(s.Sweep) == 0 {
+		return nil, fmt.Errorf("%s: snapshot holds no benchmarks and no sweep points", path)
+	}
+	return &s, nil
+}

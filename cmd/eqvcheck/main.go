@@ -7,6 +7,14 @@
 //	go run ./cmd/eqvcheck                         # 400 functions, shards 4
 //	go run ./cmd/eqvcheck -functions 10000 -sparse -shards 8 -seeds 3 -stream
 //
+// -scenario runs every check over a non-stationary library workload
+// (drift, flash crowds, churn, deploy waves), and -retrain additionally
+// enables SPES's online re-categorization in all engines — together they
+// assert that neither time-varying workloads nor mid-simulation
+// retraining opens any daylight between the engines:
+//
+//	go run ./cmd/eqvcheck -functions 600 -scenario churn -retrain 1440 -shards 2 -stream
+//
 // -stream also exercises the shard cache with a disk tier: a cold, a warm,
 // and a warm-after-restart (fresh in-memory cache over the same entry
 // directory) pass must all match the dense reference. -cachedir persists
@@ -58,6 +66,8 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent shard-run cap (0: one per core); streamed residency is up to TWO shards (pipelined prefetch) of O(functions/shards) event series PER in-flight worker, so -maxheap bounds need a fixed worker count, not the runner's core count")
 	cacheDir := flag.String("cachedir", "", "disk-cache entry directory for the -stream cache checks (persists across runs; empty: a temporary directory, removed on exit)")
 	minDiskHits := flag.Int("mindiskhits", 0, "fail unless the cold passes were served at least this many shard entries from the disk cache — asserts that a previous process's -cachedir entries survived the restart (0: no assertion)")
+	scenario := flag.String("scenario", "", "run the checks over a non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave) positioned at the -traindays split (empty: stationary)")
+	retrain := flag.Int("retrain", 0, "enable SPES online re-categorization every this many slots in every engine under comparison (0: off)")
 	flag.Parse()
 
 	// Flag validation up front: every bad combination must come back as an
@@ -89,12 +99,22 @@ func run() error {
 		return fmt.Errorf("-streamonly cannot be combined with -stream, -cachedir, or -mindiskhits")
 	}
 
+	if *retrain < 0 {
+		return fmt.Errorf("-retrain must be >= 0, got %d", *retrain)
+	}
+
 	s := experiments.DefaultSettings()
 	s.Functions = *functions
 	s.Days = *days
 	s.TrainDays = *trainDays
 	if *sparse {
 		s.TriggerMix = trace.SparseTriggerMix()
+	}
+	// Scenario cohorts are drawn from the workload seed, so the scenario is
+	// (re-)applied after every per-seed s.Seed assignment below; this first
+	// application only validates the name before any work starts.
+	if err := s.ApplyScenario(*scenario); err != nil {
+		return err
 	}
 
 	watch := memwatch.Watch()
@@ -104,11 +124,14 @@ func run() error {
 		}
 		for seed := int64(1); seed <= int64(*seeds); seed++ {
 			s.Seed = seed
-			a, err := runStreamed(s, *shards, *workers)
+			if err := s.ApplyScenario(*scenario); err != nil {
+				return err
+			}
+			a, err := runStreamed(s, *shards, *workers, *retrain)
 			if err != nil {
 				return err
 			}
-			b, err := runStreamed(s, 2*(*shards), *workers)
+			b, err := runStreamed(s, 2*(*shards), *workers, *retrain)
 			if err != nil {
 				return err
 			}
@@ -144,17 +167,20 @@ func run() error {
 
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		s.Seed = seed
+		if err := s.ApplyScenario(*scenario); err != nil {
+			return err
+		}
 		_, train, simTr, err := experiments.BuildWorkload(s)
 		if err != nil {
 			return err
 		}
 		cfgD := core.DefaultConfig()
 		cfgD.DenseScan = true
-		rd, err := sim.Run(core.New(cfgD), train, simTr, sim.Options{})
+		rd, err := sim.Run(core.New(cfgD), train, simTr, sim.Options{RetrainEvery: *retrain})
 		if err != nil {
 			return err
 		}
-		re, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{})
+		re, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{RetrainEvery: *retrain})
 		if err != nil {
 			return err
 		}
@@ -163,7 +189,7 @@ func run() error {
 		}
 		if *shards > 1 {
 			rs, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-				sim.Options{Shards: *shards})
+				sim.Options{Shards: *shards, RetrainEvery: *retrain})
 			if err != nil {
 				return err
 			}
@@ -172,7 +198,7 @@ func run() error {
 			}
 		}
 		if *stream {
-			rs, err := runStreamed(s, *shards, *workers)
+			rs, err := runStreamed(s, *shards, *workers, *retrain)
 			if err != nil {
 				return err
 			}
@@ -196,7 +222,7 @@ func run() error {
 			cache.AttachDisk(disk)
 			runCached := func(label string) error {
 				rc, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-					sim.Options{Shards: *shards, Cache: cache})
+					sim.Options{Shards: *shards, Cache: cache, RetrainEvery: *retrain})
 				if err != nil {
 					return err
 				}
@@ -227,7 +253,7 @@ func run() error {
 			restarted := sim.NewShardCache()
 			restarted.AttachDisk(disk)
 			rr, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-				sim.Options{Shards: *shards, Cache: restarted})
+				sim.Options{Shards: *shards, Cache: restarted, RetrainEvery: *retrain})
 			if err != nil {
 				return err
 			}
@@ -253,12 +279,13 @@ func run() error {
 // runStreamed simulates SPES over the settings' workload through the
 // streamed engine: the trace pair is produced one shard at a time inside
 // the simulation workers, pipelined with their simulations.
-func runStreamed(s experiments.Settings, shards, workers int) (*sim.Result, error) {
+func runStreamed(s experiments.Settings, shards, workers, retrain int) (*sim.Result, error) {
 	src, err := experiments.StreamSource(s, shards)
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Workers: workers})
+	return sim.RunStreamed(core.New(core.DefaultConfig()), src,
+		sim.Options{Workers: workers, RetrainEvery: retrain})
 }
 
 // checkHeap enforces -maxheap over the sampled run.

@@ -23,6 +23,22 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist the sweep runners' shard cache to this directory (Figure 13 sweeps restore cached shard outcomes across process restarts)")
 	flag.Parse()
 
+	// Flag validation up front, like the other CLIs: every bad value must
+	// come back as one error with exit code 1 before any figure starts —
+	// never as a library panic, and not from the middle of an -fig all run.
+	if *functions <= 0 {
+		fmt.Fprintf(os.Stderr, "spes-experiments: -functions must be positive, got %d\n", *functions)
+		os.Exit(1)
+	}
+	if *days <= 0 {
+		fmt.Fprintf(os.Stderr, "spes-experiments: -days must be positive, got %d\n", *days)
+		os.Exit(1)
+	}
+	if *trainDays <= 0 || *trainDays >= *days {
+		fmt.Fprintf(os.Stderr, "spes-experiments: -train-days %d outside (0, %d): the workload needs both a training and a simulation window\n", *trainDays, *days)
+		os.Exit(1)
+	}
+
 	s := experiments.DefaultSettings()
 	s.Functions = *functions
 	s.Days = *days

@@ -8,6 +8,12 @@
 //	spes-sim -policy defuse -trace trace.csv -train-days 12
 //
 // Policies: spes, fixed, hf, ha, defuse, faascache, lcs.
+//
+// -scenario runs a non-stationary library scenario (drift, flash crowds,
+// churn, deploy waves) over the generated workload, and -retrain-every
+// enables SPES's online re-categorization against it:
+//
+//	spes-sim -policy spes -scenario churn -retrain-every 1440
 package main
 
 import (
@@ -40,6 +46,9 @@ func run() error {
 	prewarm := flag.Int("theta-prewarm", 2, "SPES pre-warm window")
 	shards := flag.Int("shards", 1, "population shards simulated concurrently (spes/fixed/hf/ha/defuse; results are bit-identical to -shards 1; disables per-tick overhead measurement, which would force the shards sequential)")
 	stream := flag.Bool("stream", false, "stream the generated workload one shard at a time into the simulation (sim.RunStreamed): peak memory is O(functions/shards) event series per worker instead of the whole trace, results bit-identical; requires a generated workload (no -trace) and a shardable policy")
+	scenario := flag.String("scenario", "", "non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave) positioned at the -train-days split; requires a generated workload (no -trace)")
+	retrainEvery := flag.Int("retrain-every", 0, "re-run the policy's categorization online every this many simulated slots over a sliding history window (policies without online re-categorization — everything but SPES — run unchanged); 0 disables")
+	retrainWindow := flag.Int("retrain-window", 0, "sliding window length in slots for -retrain-every (0: the training window length)")
 	flag.Parse()
 
 	// Flag validation up front: bad values must come back as errors with
@@ -59,6 +68,24 @@ func run() error {
 	}
 	if *stream && *tracePath != "" {
 		return fmt.Errorf("-stream needs a generated workload; it cannot be combined with -trace (materialized CSVs are simulated with -shards)")
+	}
+	if *scenario != "" && *tracePath != "" {
+		return fmt.Errorf("-scenario transforms the generated workload; it cannot be combined with -trace")
+	}
+	if *retrainEvery < 0 || *retrainWindow < 0 {
+		return fmt.Errorf("-retrain-every and -retrain-window must be >= 0, got %d / %d", *retrainEvery, *retrainWindow)
+	}
+
+	// The scenario is resolved before any generation so a bad name fails
+	// fast; phases are positioned at the train/sim split.
+	var scenarioCfg trace.ScenarioConfig
+	if *scenario != "" {
+		sc, err := trace.NamedScenario(*scenario, *trainDays*1440, *days*1440)
+		if err != nil {
+			return err
+		}
+		sc.Seed = *seed
+		scenarioCfg = sc.Normalize()
 	}
 
 	var full *trace.Trace
@@ -83,7 +110,9 @@ func run() error {
 				return err
 			}
 		} else {
-			full, err = trace.Generate(trace.DefaultGeneratorConfig(*functions, *days, *seed))
+			cfg := trace.DefaultGeneratorConfig(*functions, *days, *seed)
+			cfg.Scenario = scenarioCfg
+			full, err = trace.Generate(cfg)
 			if err != nil {
 				return err
 			}
@@ -128,11 +157,18 @@ func run() error {
 	// Overhead timing forces shard runs sequential (timings under core
 	// contention are meaningless), so it is only taken on unsharded,
 	// unstreamed runs — -shards exists to exercise the concurrent engine.
-	opts := sim.Options{MeasureOverhead: !*stream && *shards <= 1, Shards: *shards}
+	opts := sim.Options{
+		MeasureOverhead: !*stream && *shards <= 1,
+		Shards:          *shards,
+		RetrainEvery:    *retrainEvery,
+		RetrainWindow:   *retrainWindow,
+	}
 	var res *sim.Result
 	if *stream {
+		cfg := trace.DefaultGeneratorConfig(*functions, *days, *seed)
+		cfg.Scenario = scenarioCfg
 		src := &sim.GeneratorSource{
-			Cfg:        trace.DefaultGeneratorConfig(*functions, *days, *seed),
+			Cfg:        cfg,
 			TrainSlots: *trainDays * 1440,
 			Shards:     *shards,
 		}

@@ -27,6 +27,14 @@
 // window), streamed through the same per-shard source the simulator
 // consumes (sim.GeneratorSource), so the split costs no more memory than
 // the single-file path. The simulation file's slots are re-based to 0.
+//
+// -scenario applies a non-stationary library scenario (drift, flash
+// crowds, churn, deploy waves — see trace.ScenarioNames) positioned at the
+// -train-days split. Scenario transforms are per-function deterministic,
+// so they compose with -shards at unchanged per-shard memory:
+//
+//	tracegen -functions 2000 -days 14 -train-days 12 -scenario churn \
+//	    -o sim.csv -train-o train.csv
 package main
 
 import (
@@ -48,6 +56,7 @@ func main() {
 	chain := flag.Float64("chain", 0.40, "fraction of multi-function apps forming chains")
 	shards := flag.Int("shards", 1, "generate the population in this many streamed shards (bounds peak memory to ~1/shards of the trace)")
 	sparse := flag.Bool("sparse", false, "use the mostly-idle trigger mix (large-n scale experiments)")
+	scenario := flag.String("scenario", "", "non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave), positioned at the -train-days split (empty: stationary)")
 	trainDays := flag.Int("train-days", 0, "when positive, split the trace: write the first train-days days to -train-o and the rest (re-based to slot 0) to -o")
 	trainOut := flag.String("train-o", "train.csv", "training-window CSV path when -train-days is set")
 	flag.Parse()
@@ -83,6 +92,17 @@ func main() {
 	cfg.ChainFraction = *chain
 	if *sparse {
 		cfg.TriggerMix = trace.SparseTriggerMix()
+	}
+	if *scenario != "" {
+		// Scenario phases land inside the simulation window of the
+		// -train-days split (with -train-days 0 they span the whole trace).
+		sc, err := trace.NamedScenario(*scenario, *trainDays*1440, *days*1440)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		sc.Seed = *seed
+		cfg.Scenario = sc.Normalize()
 	}
 
 	open := func(path string) io.Writer {

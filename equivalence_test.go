@@ -31,6 +31,14 @@ func (s scanOnlyTagged) TypeOf(f trace.FuncID) string {
 	return s.Policy.(sim.TypeTagger).TypeOf(f)
 }
 
+// scanOnlyRetrain additionally forwards Retrain, so a retrain-enabled
+// dense-accounting reference retrains exactly like the wrapped policy.
+type scanOnlyRetrain struct{ scanOnlyTagged }
+
+func (s scanOnlyRetrain) Retrain(t int, w *trace.Trace) {
+	s.Policy.(sim.Retrainer).Retrain(t, w)
+}
+
 func eqvSettings(seed int64) experiments.Settings {
 	s := experiments.DefaultSettings()
 	s.Functions = 300
@@ -328,5 +336,209 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	}
 	for i := range seq {
 		assertSameResult(t, seq[i].Policy, seq[i], got[i])
+	}
+}
+
+// TestScenarioRetrainEquivalence runs SPES over non-stationary library
+// scenarios, with and without online re-categorization, across every
+// engine: the dense per-slot reference (scan accounting), the event-driven
+// engine (delta accounting), the sharded engine, and the streamed engine
+// (cached and uncached) must all produce bit-identical results — pattern
+// drift and function churn must not open any daylight between engines, and
+// neither must mid-simulation retraining.
+func TestScenarioRetrainEquivalence(t *testing.T) {
+	for _, scenario := range []string{"drift", "churn", "flashcrowd", "deploy-wave"} {
+		for _, retrainEvery := range []int{0, 1440} {
+			for seed := int64(1); seed <= 2; seed++ {
+				s := eqvSettings(seed)
+				if err := s.ApplyScenario(scenario); err != nil {
+					t.Fatal(err)
+				}
+				_, train, simTr, err := experiments.BuildWorkload(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				src, err := experiments.StreamSource(s, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				base := sim.Options{RetrainEvery: retrainEvery}
+				denseCfg := core.DefaultConfig()
+				denseCfg.DenseScan = true
+				ref, err := sim.Run(scanOnlyRetrain{scanOnlyTagged{core.New(denseCfg)}},
+					train, simTr, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.TotalColdStarts == 0 || ref.TotalWMT == 0 {
+					t.Fatalf("%s seed %d: degenerate workload: %+v", scenario, seed, ref)
+				}
+
+				label := func(engine string) string {
+					return fmt.Sprintf("%s retrain=%d seed %d: %s", scenario, retrainEvery, seed, engine)
+				}
+				cache := sim.NewShardCache()
+				cases := []struct {
+					engine string
+					policy sim.Policy
+					opts   sim.Options
+				}{
+					{"event+delta", core.New(core.DefaultConfig()), base},
+					{"dense+delta", core.New(denseCfg), base},
+					{"sharded x3", core.New(core.DefaultConfig()),
+						sim.Options{Shards: 3, RetrainEvery: retrainEvery}},
+					{"streamed x2", core.New(core.DefaultConfig()),
+						sim.Options{Source: src, RetrainEvery: retrainEvery}},
+					{"streamed x2 cached cold", core.New(core.DefaultConfig()),
+						sim.Options{Source: src, Cache: cache, RetrainEvery: retrainEvery}},
+					{"streamed x2 cached warm", core.New(core.DefaultConfig()),
+						sim.Options{Source: src, Cache: cache, RetrainEvery: retrainEvery}},
+				}
+				for _, c := range cases {
+					got, err := sim.Run(c.policy, train, simTr, c.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, label(c.engine), ref, got)
+				}
+				if st := cache.Stats(); st.Hits != 2 || st.Misses != 2 {
+					t.Fatalf("%s: cached passes saw hits=%d misses=%d, want 2/2", label("cache"), st.Hits, st.Misses)
+				}
+			}
+		}
+	}
+}
+
+// TestRetrainChangesOutcomeUnderChurn is the sanity check that retraining
+// is not a no-op: under the churn scenario, periodic re-categorization must
+// actually change the simulation outcome (it demotes retired functions and
+// picks up born ones).
+func TestRetrainChangesOutcomeUnderChurn(t *testing.T) {
+	s := eqvSettings(1)
+	if err := s.ApplyScenario("churn"); err != nil {
+		t.Fatal(err)
+	}
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sim.Run(core.New(core.DefaultConfig()), train, simTr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+		sim.Options{RetrainEvery: 720})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalColdStarts == retrained.TotalColdStarts && plain.TotalWMT == retrained.TotalWMT {
+		t.Fatalf("retraining changed nothing under churn: cold=%d wmt=%d",
+			plain.TotalColdStarts, plain.TotalWMT)
+	}
+}
+
+// TestRetrainCacheKeySeparation proves the cache-key rule for online
+// re-categorization: retrain-enabled and plain runs of the same policy over
+// the same shards must never share entries — in memory or on disk — while
+// each reproduces its own cold results bit-for-bit from a warm (and a
+// restarted) cache.
+func TestRetrainCacheKeySeparation(t *testing.T) {
+	s := eqvSettings(1)
+	if err := s.ApplyScenario("churn"); err != nil {
+		t.Fatal(err)
+	}
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := sim.OpenDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := sim.NewShardCache()
+	cache.AttachDisk(disk)
+	const shards = 3
+
+	run := func(c *sim.ShardCache, retrain int) *sim.Result {
+		t.Helper()
+		r, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
+			sim.Options{Shards: shards, Cache: c, RetrainEvery: retrain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	plain := run(cache, 0)
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != shards {
+		t.Fatalf("plain cold pass: stats %+v, want %d misses", st, shards)
+	}
+	retrained := run(cache, 1440)
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != 2*shards {
+		t.Fatalf("retrain pass hit plain entries: stats %+v, want %d misses and no hits", st, 2*shards)
+	}
+	if plain.TotalColdStarts == retrained.TotalColdStarts && plain.TotalWMT == retrained.TotalWMT {
+		t.Fatal("retrain-enabled run reproduced the plain run; key separation untestable")
+	}
+
+	warm := run(cache, 1440)
+	assertSameResult(t, "warm retrain replay", retrained, warm)
+	if st := cache.Stats(); st.Hits != shards || st.DiskHits != 0 {
+		t.Fatalf("warm retrain pass: stats %+v, want %d in-memory hits", st, shards)
+	}
+
+	// A restarted process (fresh in-memory cache, same entry directory)
+	// must restore each mode's own entries from disk.
+	for _, c := range []struct {
+		retrain int
+		want    *sim.Result
+	}{{1440, retrained}, {0, plain}} {
+		restarted := sim.NewShardCache()
+		restarted.AttachDisk(disk)
+		got := run(restarted, c.retrain)
+		assertSameResult(t, fmt.Sprintf("restart replay retrain=%d", c.retrain), c.want, got)
+		if st := restarted.Stats(); st.DiskHits != shards {
+			t.Fatalf("restart retrain=%d: stats %+v, want %d disk hits", c.retrain, st, shards)
+		}
+	}
+}
+
+// TestSteadyScenarioSharesCacheKeys asserts the steady library scenario is
+// cache-key-compatible with never applying a scenario at all: the
+// generator-source shard fingerprints (a cache-key component) must match,
+// so stationary sweeps keep hitting pre-scenario disk entries, while a
+// phased scenario must fingerprint apart.
+func TestSteadyScenarioSharesCacheKeys(t *testing.T) {
+	plain, err := experiments.StreamSource(eqvSettings(1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyS := eqvSettings(1)
+	if err := steadyS.ApplyScenario("steady"); err != nil {
+		t.Fatal(err)
+	}
+	steady, err := experiments.StreamSource(steadyS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driftS := eqvSettings(1)
+	if err := driftS.ApplyScenario("drift"); err != nil {
+		t.Fatal(err)
+	}
+	drift, err := experiments.StreamSource(driftS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		pf, _ := plain.ShardFingerprint(i)
+		sf, _ := steady.ShardFingerprint(i)
+		df, _ := drift.ShardFingerprint(i)
+		if pf != sf {
+			t.Errorf("shard %d: steady fingerprint %x != plain %x (stationary cache keys split)", i, sf, pf)
+		}
+		if df == pf {
+			t.Errorf("shard %d: drift fingerprint collides with plain", i)
+		}
 	}
 }

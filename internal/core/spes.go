@@ -230,6 +230,48 @@ func (s *SPES) TakeLoadDeltas() ([]trace.FuncID, bool) {
 // TypeOf implements sim.TypeTagger.
 func (s *SPES) TypeOf(f trace.FuncID) string { return s.states[f].profile.Type.String() }
 
+// Retrain implements sim.Retrainer: re-run the offline categorization over
+// a sliding window of observed history and swap the fresh profiles in, so
+// the provision decisions from slot t on follow the drifted/churned
+// behaviour instead of the stale training-time categorization. Functions
+// with no events in the window downgrade to unknown — exactly the
+// forgetting a retired function needs for its residency to be given up.
+//
+// Per the sim.Retrainer contract the loaded set is NOT touched here: only
+// profiles, the cached type array, and the correlated-link reverse index
+// change, and every timing-wheel deadline is re-armed so the event-driven
+// engine reacts to the new profiles on exactly the slots the dense
+// reference would (a deadline that moved earlier is rescheduled via the seq
+// bump; one that moved later fires early as a no-op and re-evaluates).
+// Online-WT history, lastInvoked, and the online-correlation candidate
+// state all survive retraining — they are observations, not conclusions.
+func (s *SPES) Retrain(t int, window *trace.Trace) {
+	outcome := classify.Categorize(window, s.cfg.Classify,
+		s.cfg.DisableCorrelation, s.cfg.DisableForgetting)
+	for fid := range s.listeners {
+		s.listeners[fid] = s.listeners[fid][:0]
+	}
+	for fid := range s.states {
+		st := &s.states[fid]
+		st.profile = outcome.Profiles[fid]
+		s.typ[fid] = st.profile.Type
+		for _, l := range st.profile.Links {
+			cand := trace.FuncID(l.Cand)
+			s.listeners[cand] = append(s.listeners[cand], listener{
+				target: trace.FuncID(fid), lag: l.Lag,
+			})
+		}
+	}
+	if s.wheel != nil {
+		// Never-late re-establishment under the new profiles: s.lastTick is
+		// t-1 here (Retrain lands before Tick(t)), so re-armed deadlines
+		// start at slot t and drain inside the upcoming Tick.
+		for fid := range s.states {
+			s.ensureWake(trace.FuncID(fid), s.lastTick)
+		}
+	}
+}
+
 // Profile exposes a function's current categorization (tests and the
 // experiment reports read it).
 func (s *SPES) Profile(f trace.FuncID) classify.Profile { return s.states[f].profile }

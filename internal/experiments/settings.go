@@ -27,6 +27,12 @@ type Settings struct {
 	// large-n populations of the scale experiments).
 	TriggerMix []float64
 
+	// Scenario applies non-stationary phase transforms (drift, flash
+	// crowds, churn, ...) to the generated workload; the zero value keeps
+	// it stationary. Build one with trace.NamedScenario (or ApplyScenario
+	// to fill it from a library name against these settings' split).
+	Scenario trace.ScenarioConfig
+
 	// Shards sets the population shard count for the runners that execute
 	// sharded (the Figure 13 sweeps, whose per-shard cache needs shards to
 	// be the unit of work). 0 picks a default. Results are bit-identical
@@ -91,6 +97,7 @@ func BuildWorkload(s Settings) (full, train, simTr *trace.Trace, err error) {
 	}
 	cfg := trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed)
 	cfg.TriggerMix = s.TriggerMix
+	cfg.Scenario = s.Scenario
 	full, err = trace.Generate(cfg)
 	if err != nil {
 		return nil, nil, nil, err
@@ -111,7 +118,27 @@ func StreamSource(s Settings, shards int) (*sim.GeneratorSource, error) {
 	}
 	cfg := trace.DefaultGeneratorConfig(s.Functions, s.Days, s.Seed)
 	cfg.TriggerMix = s.TriggerMix
+	cfg.Scenario = s.Scenario
 	return &sim.GeneratorSource{Cfg: cfg, TrainSlots: s.TrainDays * 1440, Shards: shards}, nil
+}
+
+// ApplyScenario fills s.Scenario from a library scenario name (see
+// trace.ScenarioNames), positioned at these settings' train/sim split and
+// seeded with the CURRENT workload seed — callers varying s.Seed across
+// runs must re-apply so the scenario cohorts vary with it. "steady" (or
+// "") leaves s.Scenario the zero value, bit-compatible (and cache-key-
+// compatible) with never having called this.
+func (s *Settings) ApplyScenario(name string) error {
+	if name == "" {
+		name = "steady"
+	}
+	sc, err := trace.NamedScenario(name, s.TrainDays*1440, s.Days*1440)
+	if err != nil {
+		return err
+	}
+	sc.Seed = s.Seed
+	s.Scenario = sc.Normalize()
+	return nil
 }
 
 // SparseSettings returns the scale-experiment configuration: n mostly-idle

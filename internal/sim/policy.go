@@ -68,6 +68,34 @@ type LoadDeltaTracker interface {
 	TakeLoadDeltas() ([]trace.FuncID, bool)
 }
 
+// Retrainer is implemented by policies (SPES) that support periodic online
+// re-categorization: when Options.RetrainEvery is set, the simulator calls
+// Retrain at slot boundaries with a sliding window over the invocations
+// observed so far, so the policy can refresh profiles that pattern drift,
+// flash crowds, or function churn have made stale.
+//
+// The contract:
+//   - window spans Options.RetrainWindow slots ending just before slot t,
+//     re-based so window slot 0 is simulation slot t-W (slots before the
+//     start of recorded history are simply empty). It shares the run's
+//     Function metadata and must be treated as read-only.
+//   - Retrain is called before slot t's invocations are observed (and
+//     before its cold starts are accounted), so the window can never leak
+//     slot t or anything later.
+//   - Retrain MUST NOT change the loaded set: the simulator's delta
+//     accounting mirrors loaded-set flips across Tick boundaries only, and
+//     cold starts for slot t are charged against the pre-Tick loaded set.
+//     Re-provisioning reacts from the next Tick on.
+//   - Retrain must be deterministic given (t, window) and must not depend
+//     on state outside the function population it was trained on — that is
+//     what keeps per-shard retraining bit-identical to global retraining
+//     (the window builder hands each shard exactly its own slice of
+//     history, and categorization only couples functions sharing an app or
+//     user, which the partition keeps together).
+type Retrainer interface {
+	Retrain(t int, window *trace.Trace)
+}
+
 // TypeTagger is implemented by policies (SPES) that assign each function a
 // category; the per-type breakdowns of Figures 10 and 12 use it.
 type TypeTagger interface {

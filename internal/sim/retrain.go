@@ -1,0 +1,52 @@
+package sim
+
+import "repro/internal/trace"
+
+// retrainEffectiveWindow resolves Options.RetrainWindow: 0 defaults to the
+// training window length (the retrained categorization sees as much history
+// as the offline phase did), or to RetrainEvery when there is no training
+// trace.
+func (o Options) retrainEffectiveWindow(training *trace.Trace) int {
+	if o.RetrainWindow > 0 {
+		return o.RetrainWindow
+	}
+	if training != nil && training.Slots > 0 {
+		return training.Slots
+	}
+	return o.RetrainEvery
+}
+
+// retrainWindow builds the sliding-window trace handed to Retrainer.Retrain
+// at simulation slot t: w slots of history ending just before t, re-based
+// so window slot 0 is simulation slot t-w. Slots still inside the training
+// trace (t < w) are filled from it; anything before recorded history is
+// empty. Function metadata is shared with the simulation trace — only the
+// window's event slices are fresh — so the build costs O(events in window).
+func retrainWindow(training, simTrace *trace.Trace, t, w int) *trace.Trace {
+	win := &trace.Trace{Slots: w, Functions: simTrace.Functions}
+	win.Series = make([]trace.Series, len(simTrace.Series))
+	a := t - w // simulation-timeline slot where the window begins
+	for fid := range simTrace.Series {
+		if a >= 0 {
+			win.Series[fid] = simTrace.Series[fid].Window(int32(a), int32(t))
+			continue
+		}
+		var s trace.Series
+		if training != nil {
+			// Window tolerates a negative from (clamped to the series start):
+			// re-based, training slot trainSlots+a lands at window slot 0.
+			s = training.Series[fid].Window(int32(training.Slots+a), int32(training.Slots))
+		}
+		sim := simTrace.Series[fid].Window(0, int32(t))
+		if len(sim) > 0 {
+			out := make(trace.Series, 0, len(s)+len(sim))
+			out = append(out, s...)
+			for _, e := range sim {
+				out = append(out, trace.Event{Slot: e.Slot + int32(-a), Count: e.Count})
+			}
+			s = out
+		}
+		win.Series[fid] = s
+	}
+	return win
+}

@@ -58,6 +58,23 @@ type Options struct {
 	// bit-identical either way.
 	Cache *ShardCache
 
+	// RetrainEvery, when positive, re-runs the policy's categorization
+	// online: at every simulation slot t = k*RetrainEvery (k >= 1, before
+	// slot t's invocations are observed) the simulator hands a policy
+	// implementing Retrainer a sliding window of the invocations recorded
+	// so far, so stale profiles chase pattern drift, flash crowds, and
+	// function churn instead of running 7 simulated days on day-0 training.
+	// Policies that do not implement Retrainer run unchanged. Under sharded
+	// or streamed execution each shard retrains independently over its own
+	// window — bit-identical to the unsharded run, because categorization
+	// only couples functions the partition keeps together.
+	RetrainEvery int
+
+	// RetrainWindow is the sliding window length in slots handed to
+	// Retrain. 0 defaults to the training window length (or RetrainEvery
+	// when there is no training trace).
+	RetrainWindow int
+
 	// pool is the shared worker budget. RunAll seeds it so that policies x
 	// shards never exceed Workers concurrent simulations; runSharded creates
 	// one for direct sharded Run calls. Tokens are only ever held by leaf
@@ -252,7 +269,25 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 		invokedAt = make([]bool, n)
 	}
 
+	// Online re-categorization: at retrain boundaries the policy sees a
+	// sliding window of the history observed so far. The call lands before
+	// phase 1, and the Retrainer contract forbids it from touching the
+	// loaded set, so both the cold-start charge and the delta mirror stay
+	// exact.
+	var retrainer Retrainer
+	retrainWin := 0
+	if opts.RetrainEvery > 0 {
+		if r, ok := policy.(Retrainer); ok {
+			retrainer = r
+			retrainWin = opts.retrainEffectiveWindow(training)
+		}
+	}
+
 	for t := 0; t < simTrace.Slots; t++ {
+		if retrainer != nil && t > 0 && t%opts.RetrainEvery == 0 {
+			retrainer.Retrain(t, retrainWindow(training, simTrace, t, retrainWin))
+		}
+
 		invs := idx.Invocations[t]
 
 		// Phase 1: cold-start accounting against the pre-Tick loaded set.
@@ -465,13 +500,34 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	// Cache qualification: a fingerprintable source, a hashable policy
 	// config, and no overhead timing (cached Overhead would be stale).
 	var (
-		cache  = opts.Cache
-		hasher ConfigHasher
-		fps    SourceFingerprint
+		cache   = opts.Cache
+		hasher  ConfigHasher
+		fps     SourceFingerprint
+		cfgHash uint64
 	)
 	if cache != nil && !opts.MeasureOverhead {
 		hasher, _ = policy.(ConfigHasher)
 		fps, _ = src.(SourceFingerprint)
+		if hasher != nil {
+			// Online re-categorization changes a shard's outcome without
+			// changing the policy's own config, so the retrain schedule is
+			// folded into the key's config component (domain-tagged): a
+			// retrain-enabled run can never hit a stale non-retrain entry,
+			// in memory or on disk, and vice versa. Policies that ignore
+			// RetrainEvery (no Retrainer) keep the plain hash — their
+			// results really are identical either way.
+			cfgHash = hasher.ConfigHash()
+			if opts.RetrainEvery > 0 {
+				if _, ok := policy.(Retrainer); ok {
+					cfgHash = HashConfig(struct {
+						Domain        string
+						Base          uint64
+						RetrainEvery  int
+						RetrainWindow int
+					}{"retrain", cfgHash, opts.RetrainEvery, opts.RetrainWindow})
+				}
+			}
+		}
 	}
 
 	results := make([]*Result, p)
@@ -491,7 +547,7 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 			if fp, ok := fps.ShardFingerprint(i); ok {
 				ps.key = shardKey{
 					policy: policy.Name(),
-					config: hasher.ConfigHash(),
+					config: cfgHash,
 					trace:  fp,
 					slots:  slots,
 				}

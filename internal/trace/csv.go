@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -111,7 +112,13 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			if err != nil {
 				return nil, fmt.Errorf("trace: CSV line %d slot %d: %w", line, i+1, err)
 			}
-			if n <= 0 {
+			if n < 0 || n > math.MaxInt32 {
+				// The schema's counts are non-negative minute totals; a
+				// negative or int32-overflowing value is corrupt input, and
+				// silently wrapping it would fabricate a different workload.
+				return nil, fmt.Errorf("trace: CSV line %d slot %d: count %d outside [0, %d]", line, i+1, n, math.MaxInt32)
+			}
+			if n == 0 {
 				continue
 			}
 			events = append(events, Event{Slot: base + int32(i), Count: int32(n)})

@@ -119,3 +119,120 @@ func TestCSVGeneratedRoundTrip(t *testing.T) {
 		t.Errorf("functions = %d, want %d", back.NumFunctions(), tr.NumFunctions())
 	}
 }
+
+// csvRow renders one schema row with the given counts placed at the given
+// slots (all others zero).
+func csvRow(user, app, fn, trig string, counts map[int]string) string {
+	fields := []string{user, app, fn, trig}
+	for i := 0; i < slotsPerDay; i++ {
+		if v, ok := counts[i]; ok {
+			fields = append(fields, v)
+		} else {
+			fields = append(fields, "0")
+		}
+	}
+	return strings.Join(fields, ",") + "\n"
+}
+
+// TestReadCSVTruncatedRows asserts rows cut short — mid-file after valid
+// rows, by a missing tail of columns, or by EOF inside a quoted field —
+// come back as errors naming the line, never as a silently shortened trace.
+func TestReadCSVTruncatedRows(t *testing.T) {
+	valid := csvRow("u1", "a1", "f1", "http", map[int]string{3: "2"})
+	cases := map[string]string{
+		"missing columns":   valid + "u2,a2,f2,http,1,2,3\n",
+		"one column short":  valid + strings.TrimSuffix(csvRow("u2", "a2", "f2", "http", nil), ",0\n") + "\n",
+		"eof inside quotes": valid + `u3,a3,"f3`,
+		"extra column":      valid + strings.TrimSuffix(csvRow("u2", "a2", "f2", "http", nil), "\n") + ",0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestReadCSVBadTriggers asserts unknown trigger spellings fail: the
+// trigger names are an exact lowercase vocabulary, and guessing at a
+// near-miss would misclassify the function population.
+func TestReadCSVBadTriggers(t *testing.T) {
+	for _, trig := range []string{"HTTP", "Timer", "", "cron", " http"} {
+		in := csvRow("u", "a", "f", trig, map[int]string{0: "1"})
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("trigger %q: accepted", trig)
+		}
+	}
+}
+
+// TestReadCSVOutOfRangeCounts asserts per-minute counts outside [0,
+// MaxInt32] are rejected rather than wrapped into a fabricated workload,
+// while explicit zeros remain non-events.
+func TestReadCSVOutOfRangeCounts(t *testing.T) {
+	for _, v := range []string{"-3", "4294967296", "2147483648"} {
+		in := csvRow("u", "a", "f", "http", map[int]string{7: v})
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("count %s: accepted", v)
+		}
+	}
+	in := csvRow("u", "a", "f", "http", map[int]string{7: "0", 9: "2147483647"})
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("max int32 count rejected: %v", err)
+	}
+	want := Series{{Slot: 9, Count: 2147483647}}
+	if !reflect.DeepEqual(tr.Series[0], want) {
+		t.Errorf("series = %v, want %v", tr.Series[0], want)
+	}
+}
+
+// TestCSVRoundTripPadsPartialDays documents the write-side day padding: a
+// trace whose horizon is not a whole number of days comes back with Slots
+// rounded up to one (the schema is day-partitioned), with every event
+// preserved.
+func TestCSVRoundTripPadsPartialDays(t *testing.T) {
+	tr := NewTrace(1500) // 1 day + 60 minutes
+	tr.AddFunction("f0", "a", "u", TriggerHTTP, []Event{{Slot: 1499, Count: 4}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Slots != 2*slotsPerDay {
+		t.Errorf("slots = %d, want %d (rounded up to whole days)", back.Slots, 2*slotsPerDay)
+	}
+	if !reflect.DeepEqual(back.Series[0], tr.Series[0]) {
+		t.Errorf("series = %v, want %v", back.Series[0], tr.Series[0])
+	}
+}
+
+// TestCSVScenarioRoundTrip asserts a scenario-transformed generated trace
+// survives the CSV round trip — examples/azurereplay consumes scenario
+// traces through this path.
+func TestCSVScenarioRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig(80, 2, 5)
+	sc, err := NamedScenario("churn", slotsPerDay, 2*slotsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 5
+	cfg.Scenario = sc
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalInvocations() != tr.TotalInvocations() || back.NumFunctions() != tr.NumFunctions() {
+		t.Errorf("round trip: %d funcs / %d invocations, want %d / %d",
+			back.NumFunctions(), back.TotalInvocations(), tr.NumFunctions(), tr.TotalInvocations())
+	}
+}

@@ -34,6 +34,14 @@ type GeneratorConfig struct {
 
 	// MeanAppsPerUser controls applications per user (~1.65 in the trace).
 	MeanAppsPerUser float64
+
+	// Scenario composes non-stationary phase transforms (drift, flash
+	// crowds, churn, ...) over the generated series. The zero value leaves
+	// the workload stationary. Transforms are pure per-function (seeded by
+	// Scenario.Seed and the global FuncID), so scenario workloads stream
+	// shard by shard with the same O(n/P) residency and bit-identical
+	// results as stationary ones; see scenario.go for the contract.
+	Scenario ScenarioConfig
 }
 
 // DefaultGeneratorConfig returns the calibrated defaults for n functions
@@ -234,6 +242,9 @@ func BuildGenLayout(cfg GeneratorConfig) (*GenLayout, error) {
 	if cfg.MeanAppsPerUser < 1 {
 		cfg.MeanAppsPerUser = 1
 	}
+	if err := cfg.Scenario.validate(cfg.Days * 1440); err != nil {
+		return nil, err
+	}
 
 	g := stats.NewRNG(cfg.Seed)
 	l := &GenLayout{
@@ -300,6 +311,14 @@ func (l *GenLayout) Shard(i, p int) (*ShardView, error) {
 		user := fmt.Sprintf("user%05d", a.user)
 		app := fmt.Sprintf("app%06d", a.app)
 		var driverEvents []Event
+		// driverActive records whether the driver's BASE series had events:
+		// followers chain off the driver's transformed series whenever the
+		// base driver was active, so a scenario that empties the driver
+		// (churn retiring it) silences its whole chain rather than flipping
+		// followers into fresh independent synthesis. For stationary configs
+		// the transform is the identity and this is exactly the old
+		// len(driverEvents) > 0 test.
+		driverActive := false
 		for k := 0; k < int(a.size); k++ {
 			fid := int(a.first) + k
 			fg := stats.NewRNG(l.seeds[fid])
@@ -307,11 +326,14 @@ func (l *GenLayout) Shard(i, p int) (*ShardView, error) {
 			name := fmt.Sprintf("%s-f%02d", app, k)
 
 			var events []Event
-			if a.chained && k > 0 && len(driverEvents) > 0 {
+			if a.chained && k > 0 && driverActive {
 				// Followers fire a small lag after the driver, with dropout:
 				// function chaining / fan-out behaviour (Section III-B2). The
 				// follower keeps its sampled trigger so the population
-				// matches Figure 5's proportions.
+				// matches Figure 5's proportions. driverEvents is the
+				// driver's scenario-transformed series, so churn and flash
+				// crowds propagate through chains; followers are not
+				// independently transformed (see scenario.go).
 				events = chainFollower(fg, driverEvents, l.slots)
 			} else {
 				arch := Archetype(fg.WeightedChoice(archetypeMixFor(trig)))
@@ -319,6 +341,10 @@ func (l *GenLayout) Shard(i, p int) (*ShardView, error) {
 				if l.cfg.ShiftFraction > 0 && fg.Bool(l.cfg.ShiftFraction) {
 					events = applyShift(fg, events, l.slots)
 				}
+				if k == 0 {
+					driverActive = len(events) > 0
+				}
+				events = l.cfg.Scenario.transform(FuncID(fid), events, l.slots)
 				if k == 0 {
 					driverEvents = events
 				}
@@ -368,6 +394,21 @@ func chainFollower(g *stats.RNG, driver []Event, slots int) []Event {
 	return events
 }
 
+// shiftArchMix is the archetype distribution post-change-point behaviour is
+// drawn from, shared by the generator's concept shifts (applyShift) and the
+// scenario transforms that re-synthesize series (PhaseShift, PhaseWave).
+var shiftArchMix = []float64{
+	ArchAlwaysOn:      0.05,
+	ArchPeriodic:      0.2,
+	ArchQuasiPeriodic: 0.1,
+	ArchPoisson:       0.25,
+	ArchDense:         0.15,
+	ArchBursty:        0.1,
+	ArchPulsed:        0.05,
+	ArchRare:          0.05,
+	ArchSilent:        0.05,
+}
+
 // applyShift injects a concept shift: after a change point the series is
 // re-generated with different parameters (new archetype draw), reproducing
 // the mid-trace behaviour changes of Figure 4.
@@ -385,17 +426,7 @@ func applyShift(g *stats.RNG, events []Event, slots int) []Event {
 	}
 	// New behaviour after the cut: rescale by regenerating a (possibly
 	// different) archetype and shifting it into the remaining window.
-	arch := Archetype(g.WeightedChoice([]float64{
-		ArchAlwaysOn:      0.05,
-		ArchPeriodic:      0.2,
-		ArchQuasiPeriodic: 0.1,
-		ArchPoisson:       0.25,
-		ArchDense:         0.15,
-		ArchBursty:        0.1,
-		ArchPulsed:        0.05,
-		ArchRare:          0.05,
-		ArchSilent:        0.05,
-	}))
+	arch := Archetype(g.WeightedChoice(shiftArchMix))
 	tail := synthesize(arch, g, slots-cut)
 	for _, e := range tail {
 		kept = append(kept, Event{Slot: e.Slot + int32(cut), Count: e.Count})
