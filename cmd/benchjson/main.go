@@ -33,19 +33,26 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"os/exec"
+	"os/signal"
+	"path/filepath"
 	"reflect"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/memwatch"
 	"repro/internal/sim"
 )
@@ -131,11 +138,76 @@ type CacheSweepResult struct {
 	ColdDiskHits  int64   `json:"cold_disk_hits,omitempty"` // non-zero: -cacheDir was pre-populated and cold_ms is disk-warm, not cold
 	DiskHits      int64   `json:"disk_hits,omitempty"`
 	ResultsMatch  bool    `json:"results_match"`
+
+	// ResultsHash fingerprints the sweep's results (FNV-64a over every
+	// Result with the wall-clock Overhead zeroed): two benchjson runs of the
+	// same sweep — clean, fault-injected, or killed-and-resumed — must
+	// report the same hash. The faultsmoke CI job compares these across
+	// processes, the cross-run half of the completes ⇒ bit-identical
+	// invariant.
+	ResultsHash string `json:"results_hash,omitempty"`
+	// ResumedUnits counts the completed units replayed from a previous
+	// process's sweep journal (<cacheDir>/sweep.journal): non-zero means
+	// this run resumed a killed one and only re-simulated the rest.
+	ResumedUnits int `json:"resumed_units,omitempty"`
+	// FaultSeed / FaultsInjected record the -faults schedule this sweep ran
+	// under (0 / absent: clean run).
+	FaultSeed      int64 `json:"fault_seed,omitempty"`
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+}
+
+// resultsHash fingerprints a pass's results for cross-run bit-identity
+// comparison: FNV-64a over the JSON encoding of each Result with Overhead
+// (wall clock) zeroed.
+func resultsHash(results []*sim.Result) string {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, r := range results {
+		c := *r
+		c.Overhead = 0
+		if err := enc.Encode(&c); err != nil {
+			return ""
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// faultHook is benchjson's sim.ShardFaultHook: an optional fixed per-shard
+// delay (stretches sweeps wide enough for CI to kill them mid-run), an
+// optional single forced worker panic, and an optional deterministic
+// injector behind both.
+type faultHook struct {
+	delay      time.Duration
+	panicShard int
+	panicked   atomic.Bool
+	inj        *faultinject.Injector
+}
+
+func (h *faultHook) BeforeShard(shard, attempt int) {
+	if h.delay > 0 {
+		time.Sleep(h.delay)
+	}
+	if shard == h.panicShard && attempt == 1 && h.panicked.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("benchjson: forced worker panic on shard %d", shard))
+	}
+	if h.inj != nil {
+		h.inj.BeforeShard(shard, attempt)
+	}
+}
+
+// cacheSweepOpts carries the fault-tolerance knobs of runCacheSweep.
+type cacheSweepOpts struct {
+	dir        string          // disk-backed entry directory ("" = in-memory only)
+	stop       <-chan struct{} // closed on SIGINT/SIGTERM: drain in-flight shards, flush journal
+	faultSeed  int64           // non-zero: run under faultinject.Default() with this seed
+	shardDelay time.Duration   // artificial per-shard delay (kill-window widener)
+	panicShard int             // >= 0: force one panic on this shard's first attempt
 }
 
 // runSweep executes the scale sweep in-process: per scale and shard count a
-// materialized point, plus a streamed point for shard counts > 1.
-func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
+// materialized point, plus a streamed point for shard counts > 1. stop
+// aborts between shards (SIGINT/SIGTERM).
+func runSweep(scales, shardCounts []int, seed int64, stop <-chan struct{}) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, n := range scales {
 		s := experiments.SparseSettings(n, seed)
@@ -154,7 +226,7 @@ func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
 			pt.GenerateMs = msSince(genStart)
 			simStart := time.Now()
 			res, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-				sim.Options{Shards: shards})
+				sim.Options{Shards: shards, Stop: stop})
 			if err != nil {
 				return nil, err
 			}
@@ -182,7 +254,7 @@ func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
 			}
 			watch = memwatch.Watch()
 			simStart = time.Now()
-			sres, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{})
+			sres, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Stop: stop})
 			if err != nil {
 				return nil, err
 			}
@@ -201,125 +273,184 @@ func runSweep(scales, shardCounts []int, seed int64) ([]SweepPoint, error) {
 
 // runCacheSweep measures the incremental sweep cache: a 5-point
 // theta_prewarm sweep (the Figure 13a shape) cold, then warm, through one
-// cache. With a cacheDir the sweep runs streamed with a disk-backed cache
-// and adds a restart-simulating pass: a fresh in-memory cache over the
-// same entry directory, so every shard outcome restores from disk.
-func runCacheSweep(scales []int, shards int, seed int64, cacheDir string) ([]CacheSweepResult, error) {
+// cache. With o.dir the sweep runs streamed with a disk-backed cache and
+// adds a restart-simulating pass: a fresh in-memory cache over the same
+// entry directory, so every shard outcome restores from disk. A sweep
+// journal (<dir>/sweep.journal) records every completed unit, so a killed
+// run resumes — the rerun re-simulates only un-journaled shards. o.faultSeed
+// runs the whole thing under deterministic injected faults; any run that
+// completes must still report the same results_hash as a clean run.
+func runCacheSweep(scales []int, shards int, seed int64, o cacheSweepOpts) ([]CacheSweepResult, error) {
 	thetas := []int{1, 2, 3, 5, 10}
 	var out []CacheSweepResult
 	for _, n := range scales {
-		s := experiments.SparseSettings(n, seed)
-
-		var disk *sim.DiskCache
-		newSweep := func(cache *sim.ShardCache) (*sim.Sweep, error) {
-			if cacheDir == "" {
-				_, train, simTr, err := experiments.BuildWorkload(s)
-				if err != nil {
-					return nil, err
-				}
-				return sim.NewSweep(train, simTr, sim.Options{Shards: shards, Cache: cache})
-			}
-			src, err := experiments.StreamSource(s, shards)
-			if err != nil {
-				return nil, err
-			}
-			if cache == nil {
-				cache = sim.NewShardCache()
-			}
-			cache.AttachDisk(disk)
-			return sim.NewStreamedSweep(src, sim.Options{Cache: cache})
-		}
-		mode := "materialized"
-		if cacheDir != "" {
-			mode = "streamed+disk"
-			var err error
-			if disk, err = sim.OpenDiskCache(cacheDir); err != nil {
-				return nil, err
-			}
-		}
-		sweep, err := newSweep(nil)
+		r, err := runCacheScale(n, thetas, shards, seed, o)
 		if err != nil {
 			return nil, err
-		}
-
-		pass := func(sw *sim.Sweep) (float64, []*sim.Result, error) {
-			results := make([]*sim.Result, 0, len(thetas))
-			start := time.Now()
-			for _, theta := range thetas {
-				cfg := core.DefaultConfig()
-				cfg.Classify.ThetaPrewarm = theta
-				res, err := sw.Run(core.New(cfg))
-				if err != nil {
-					return 0, nil, err
-				}
-				results = append(results, res)
-			}
-			return msSince(start), results, nil
-		}
-		// Full-result equivalence (every metric and per-function field;
-		// Overhead excluded as wall clock), not just headline scalars.
-		matches := func(a, b []*sim.Result) bool {
-			for i := range a {
-				c, w := *a[i], *b[i]
-				c.Overhead, w.Overhead = 0, 0
-				if !reflect.DeepEqual(&c, &w) {
-					return false
-				}
-			}
-			return true
-		}
-
-		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s cold...\n", n, shards, mode)
-		coldMs, coldRes, err := pass(sweep)
-		if err != nil {
-			return nil, err
-		}
-		coldSt := sweep.Cache().Stats()
-		if coldSt.DiskHits > 0 {
-			// A reused -cacheDir serves the "cold" pass from disk; the
-			// timing is still recorded, but flag it — cold_ms is then a
-			// disk-warm time, not a simulation baseline.
-			fmt.Fprintf(os.Stderr, "benchjson: warning: cold pass restored %d entries from -cacheDir; cold_ms is not a true cold baseline\n", coldSt.DiskHits)
-		}
-		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm...\n", n, shards, mode)
-		warmMs, warmRes, err := pass(sweep)
-		if err != nil {
-			return nil, err
-		}
-		match := matches(coldRes, warmRes)
-		st := sweep.Cache().Stats()
-		r := CacheSweepResult{
-			Functions: n, Days: s.Days, TrainDays: s.TrainDays, Seed: seed,
-			Shards: shards, Points: len(thetas), Mode: mode,
-			ColdMs: coldMs, WarmMs: warmMs, ColdDiskHits: coldSt.DiskHits,
-			Hits: st.Hits, Misses: st.Misses, ResultsMatch: match,
-		}
-		if cacheDir != "" {
-			// Restart pass: nothing from this process's in-memory cache may
-			// survive — a fresh cache and a fresh source over the same entry
-			// directory stand in for a restarted process (workload
-			// regeneration excluded: a warm streamed sweep never generates).
-			fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm-after-restart...\n", n, shards, mode)
-			restarted, err := newSweep(sim.NewShardCache())
-			if err != nil {
-				return nil, err
-			}
-			restartMs, restartRes, err := pass(restarted)
-			if err != nil {
-				return nil, err
-			}
-			r.WarmRestartMs = restartMs
-			r.ResultsMatch = match && matches(coldRes, restartRes)
-			rst := restarted.Cache().Stats()
-			r.DiskHits = rst.DiskHits
-			if rst.DiskHits != int64(len(thetas)*shards) {
-				return nil, fmt.Errorf("benchjson: restart pass restored %d entries, want %d (disk cache not hit)",
-					rst.DiskHits, len(thetas)*shards)
-			}
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// runCacheScale runs one scale of the cache sweep (split out so the sweep
+// journal can be flushed and closed per scale, whatever path exits).
+func runCacheScale(n int, thetas []int, shards int, seed int64, o cacheSweepOpts) (CacheSweepResult, error) {
+	s := experiments.SparseSettings(n, seed)
+
+	var inj *faultinject.Injector
+	var hook sim.ShardFaultHook
+	if o.faultSeed != 0 {
+		inj = faultinject.New(o.faultSeed, faultinject.Default())
+	}
+	if o.shardDelay > 0 || o.panicShard >= 0 || inj != nil {
+		hook = &faultHook{delay: o.shardDelay, panicShard: o.panicShard, inj: inj}
+	}
+
+	var disk *sim.DiskCache
+	var manifest *sim.SweepManifest
+	newSweep := func(cache *sim.ShardCache) (*sim.Sweep, error) {
+		if o.dir == "" {
+			_, train, simTr, err := experiments.BuildWorkload(s)
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewSweep(train, simTr, sim.Options{
+				Shards: shards, Cache: cache, Stop: o.stop, FaultHook: hook})
+		}
+		src, err := experiments.StreamSource(s, shards)
+		if err != nil {
+			return nil, err
+		}
+		if cache == nil {
+			cache = sim.NewShardCache()
+		}
+		cache.AttachDisk(disk)
+		cache.AttachManifest(manifest)
+		return sim.NewStreamedSweep(src, sim.Options{
+			Cache: cache, Stop: o.stop, FaultHook: hook})
+	}
+	mode := "materialized"
+	if o.dir != "" {
+		mode = "streamed+disk"
+		var err error
+		if inj != nil {
+			disk, err = sim.OpenDiskCacheFS(o.dir, inj.FS())
+		} else {
+			disk, err = sim.OpenDiskCache(o.dir)
+		}
+		if err != nil {
+			return CacheSweepResult{}, err
+		}
+		if manifest, err = sim.OpenSweepManifest(filepath.Join(o.dir, "sweep.journal")); err != nil {
+			return CacheSweepResult{}, err
+		}
+		// Flush whatever this scale completed on every exit — the clean
+		// return, an error, and the drained SIGINT/SIGTERM path alike — so
+		// a rerun with the same flags resumes from it.
+		defer manifest.Close()
+		if rec := manifest.Recovered(); rec > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: resume: journal replayed %d completed units (%d torn lines dropped); only un-journaled shards re-simulate\n",
+				rec, manifest.Dropped())
+		}
+	}
+	sweep, err := newSweep(nil)
+	if err != nil {
+		return CacheSweepResult{}, err
+	}
+
+	pass := func(sw *sim.Sweep) (float64, []*sim.Result, error) {
+		results := make([]*sim.Result, 0, len(thetas))
+		start := time.Now()
+		for _, theta := range thetas {
+			cfg := core.DefaultConfig()
+			cfg.Classify.ThetaPrewarm = theta
+			res, err := sw.Run(core.New(cfg))
+			if err != nil {
+				return 0, nil, err
+			}
+			results = append(results, res)
+		}
+		return msSince(start), results, nil
+	}
+	// Full-result equivalence (every metric and per-function field;
+	// Overhead excluded as wall clock), not just headline scalars.
+	matches := func(a, b []*sim.Result) bool {
+		for i := range a {
+			c, w := *a[i], *b[i]
+			c.Overhead, w.Overhead = 0, 0
+			if !reflect.DeepEqual(&c, &w) {
+				return false
+			}
+		}
+		return true
+	}
+
+	fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s cold...\n", n, shards, mode)
+	coldMs, coldRes, err := pass(sweep)
+	if err != nil {
+		return CacheSweepResult{}, err
+	}
+	coldSt := sweep.Cache().Stats()
+	if coldSt.DiskHits > 0 {
+		// A reused -cacheDir serves the "cold" pass from disk; the
+		// timing is still recorded, but flag it — cold_ms is then a
+		// disk-warm time, not a simulation baseline.
+		fmt.Fprintf(os.Stderr, "benchjson: warning: cold pass restored %d entries from -cacheDir; cold_ms is not a true cold baseline\n", coldSt.DiskHits)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm...\n", n, shards, mode)
+	warmMs, warmRes, err := pass(sweep)
+	if err != nil {
+		return CacheSweepResult{}, err
+	}
+	match := matches(coldRes, warmRes)
+	st := sweep.Cache().Stats()
+	r := CacheSweepResult{
+		Functions: n, Days: s.Days, TrainDays: s.TrainDays, Seed: seed,
+		Shards: shards, Points: len(thetas), Mode: mode,
+		ColdMs: coldMs, WarmMs: warmMs, ColdDiskHits: coldSt.DiskHits,
+		Hits: st.Hits, Misses: st.Misses, ResultsMatch: match,
+		ResultsHash: resultsHash(coldRes), FaultSeed: o.faultSeed,
+	}
+	if manifest != nil {
+		r.ResumedUnits = manifest.Recovered()
+	}
+	if o.dir != "" {
+		// Restart pass: nothing from this process's in-memory cache may
+		// survive — a fresh cache and a fresh source over the same entry
+		// directory stand in for a restarted process (workload
+		// regeneration excluded: a warm streamed sweep never generates).
+		fmt.Fprintf(os.Stderr, "benchjson: cache sweep n=%d shards=%d %s warm-after-restart...\n", n, shards, mode)
+		restarted, err := newSweep(sim.NewShardCache())
+		if err != nil {
+			return CacheSweepResult{}, err
+		}
+		restartMs, restartRes, err := pass(restarted)
+		if err != nil {
+			return CacheSweepResult{}, err
+		}
+		r.WarmRestartMs = restartMs
+		r.ResultsMatch = match && matches(coldRes, restartRes)
+		rst := restarted.Cache().Stats()
+		r.DiskHits = rst.DiskHits
+		if rst.DiskHits != int64(len(thetas)*shards) {
+			if inj == nil {
+				return CacheSweepResult{}, fmt.Errorf("benchjson: restart pass restored %d entries, want %d (disk cache not hit)",
+					rst.DiskHits, len(thetas)*shards)
+			}
+			// Under injected faults some restores legitimately fail (read
+			// errors, bit flips, entries whose rename never landed) and
+			// re-simulate through the miss path: fewer disk hits, same
+			// results — which ResultsMatch still asserts.
+			fmt.Fprintf(os.Stderr, "benchjson: faults: restart pass restored %d/%d entries; the rest re-simulated\n",
+				rst.DiskHits, len(thetas)*shards)
+		}
+	}
+	if inj != nil {
+		r.FaultsInjected = inj.Total()
+		fmt.Fprintf(os.Stderr, "benchjson: faults(seed=%d): %s\n", o.faultSeed, inj)
+	}
+	return r, nil
 }
 
 func msSince(t time.Time) float64 {
@@ -353,7 +484,10 @@ func main() {
 	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
 	cacheSweep := flag.String("cacheSweep", "", "comma-separated population sizes for the cold-vs-warm sweep-cache measurement (empty: skip)")
 	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
-	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
+	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed, journals completed units to <dir>/sweep.journal (kill + rerun resumes), and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
+	faults := flag.Int64("faults", 0, "non-zero: run the -cacheSweep under deterministic injected faults (disk I/O faults, worker panics, slow shards) with this schedule seed; a completed run must stay bit-identical to a clean one")
+	shardDelayMs := flag.Int("shardDelayMs", 0, "artificial delay in ms before every shard simulation (stretches the -cacheSweep so a test can kill it mid-run)")
+	panicShard := flag.Int("panicShard", -1, "force one worker panic on this shard's first attempt during the -cacheSweep (crash-isolation smoke)")
 	flag.Parse()
 
 	scales, err := parseInts(*sweep)
@@ -377,6 +511,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: -cacheShards must be >= 1, got %d\n", *cacheShards)
 		os.Exit(1)
 	}
+
+	// SIGINT/SIGTERM close stop: the in-process sweeps drain their in-flight
+	// shards (every completed shard is cached and journaled), flush the
+	// journal on the way out, and the process exits cleanly — rerunning with
+	// the same flags resumes. A second signal kills the old-fashioned way.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintf(os.Stderr, "benchjson: signal received; draining in-flight shards and flushing the sweep journal...\n")
+		close(stop)
+		signal.Stop(sigc)
+	}()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "."}
@@ -426,18 +574,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	// A drained interruption is a clean, resumable exit (completed shards
+	// are journaled), reported with the conventional 130.
+	fail := func(what string, err error) {
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s interrupted; completed shards are journaled — rerun with the same flags to resume\n", what)
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", what, err)
+		os.Exit(1)
+	}
 	if len(scales) > 0 {
-		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed)
+		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed, stop)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: sweep: %v\n", err)
-			os.Exit(1)
+			fail("sweep", err)
 		}
 	}
 	if len(cacheScales) > 0 {
-		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed, *cacheDir)
+		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed, cacheSweepOpts{
+			dir:        *cacheDir,
+			stop:       stop,
+			faultSeed:  *faults,
+			shardDelay: time.Duration(*shardDelayMs) * time.Millisecond,
+			panicShard: *panicShard,
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: cache sweep: %v\n", err)
-			os.Exit(1)
+			fail("cache sweep", err)
 		}
 	}
 

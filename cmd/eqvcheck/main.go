@@ -23,6 +23,16 @@
 // served from disk; without -cachedir a temporary directory is used and
 // removed.
 //
+// -faults <seed> runs the -stream checks under deterministic injected
+// faults (internal/faultinject): disk reads/writes/renames fail or corrupt
+// on a seeded schedule, shard workers panic on first attempts and stall.
+// The dense reference runs clean; every faulted engine and cache pass must
+// still match it bit-for-bit — the completes ⇒ bit-identical invariant.
+// Exact cache-tier traffic assertions are relaxed (a failed restore
+// legitimately re-simulates), result equality never is:
+//
+//	go run ./cmd/eqvcheck -functions 400 -shards 4 -stream -faults 7
+//
 // -streamonly is the memory-guard mode: it never materializes a trace —
 // only streamed engines run, at -shards and 2x -shards, compared against
 // each other — so peak residency stays O(n/shards) and -maxheap can bound
@@ -41,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/memwatch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -68,6 +79,7 @@ func run() error {
 	minDiskHits := flag.Int("mindiskhits", 0, "fail unless the cold passes were served at least this many shard entries from the disk cache — asserts that a previous process's -cachedir entries survived the restart (0: no assertion)")
 	scenario := flag.String("scenario", "", "run the checks over a non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave) positioned at the -traindays split (empty: stationary)")
 	retrain := flag.Int("retrain", 0, "enable SPES online re-categorization every this many slots in every engine under comparison (0: off)")
+	faultSeed := flag.Int64("faults", 0, "non-zero: run the -stream checks under deterministic injected faults with this schedule seed; completed runs must stay bit-identical to the clean dense reference")
 	flag.Parse()
 
 	// Flag validation up front: every bad combination must come back as an
@@ -102,6 +114,21 @@ func run() error {
 	if *retrain < 0 {
 		return fmt.Errorf("-retrain must be >= 0, got %d", *retrain)
 	}
+	if *faultSeed != 0 && !*stream {
+		return fmt.Errorf("-faults needs -stream (the fault surface — disk cache and shard workers — only runs there)")
+	}
+	if *faultSeed != 0 && *minDiskHits > 0 {
+		// Injected read faults legitimately turn restores into misses, so a
+		// disk-hit floor would flake by design.
+		return fmt.Errorf("-faults cannot be combined with -mindiskhits")
+	}
+
+	var inj *faultinject.Injector
+	var hook sim.ShardFaultHook
+	if *faultSeed != 0 {
+		inj = faultinject.New(*faultSeed, faultinject.Default())
+		hook = inj
+	}
 
 	s := experiments.DefaultSettings()
 	s.Functions = *functions
@@ -127,11 +154,11 @@ func run() error {
 			if err := s.ApplyScenario(*scenario); err != nil {
 				return err
 			}
-			a, err := runStreamed(s, *shards, *workers, *retrain)
+			a, err := runStreamed(s, *shards, *workers, *retrain, nil)
 			if err != nil {
 				return err
 			}
-			b, err := runStreamed(s, 2*(*shards), *workers, *retrain)
+			b, err := runStreamed(s, 2*(*shards), *workers, *retrain, nil)
 			if err != nil {
 				return err
 			}
@@ -158,7 +185,11 @@ func run() error {
 			dir = tmp
 		}
 		var err error
-		disk, err = sim.OpenDiskCache(dir)
+		if inj != nil {
+			disk, err = sim.OpenDiskCacheFS(dir, inj.FS())
+		} else {
+			disk, err = sim.OpenDiskCache(dir)
+		}
 		if err != nil {
 			return err
 		}
@@ -189,7 +220,7 @@ func run() error {
 		}
 		if *shards > 1 {
 			rs, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-				sim.Options{Shards: *shards, RetrainEvery: *retrain})
+				sim.Options{Shards: *shards, RetrainEvery: *retrain, FaultHook: hook})
 			if err != nil {
 				return err
 			}
@@ -198,7 +229,7 @@ func run() error {
 			}
 		}
 		if *stream {
-			rs, err := runStreamed(s, *shards, *workers, *retrain)
+			rs, err := runStreamed(s, *shards, *workers, *retrain, hook)
 			if err != nil {
 				return err
 			}
@@ -222,7 +253,7 @@ func run() error {
 			cache.AttachDisk(disk)
 			runCached := func(label string) error {
 				rc, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-					sim.Options{Shards: *shards, Cache: cache, RetrainEvery: *retrain})
+					sim.Options{Shards: *shards, Cache: cache, RetrainEvery: *retrain, FaultHook: hook})
 				if err != nil {
 					return err
 				}
@@ -231,36 +262,44 @@ func run() error {
 			if err := runCached("cold"); err != nil {
 				return err
 			}
-			// Cold pass: one lookup per shard, none served from memory —
-			// every hit must be a disk restore (a pre-warmed -cachedir) and
-			// everything else a miss.
+			// Tier-by-tier traffic is only exact on a clean run: under
+			// -faults a failed restore legitimately re-simulates and a
+			// failed store legitimately leaves a future miss, so only the
+			// result comparisons above hold there.
 			coldSt := cache.Stats()
-			if coldSt.Hits+coldSt.Misses != int64(*shards) || coldSt.Hits != coldSt.DiskHits {
-				return fmt.Errorf("seed %d: cold pass stats %+v, want %d lookups with no in-memory hits", seed, coldSt, *shards)
+			if inj == nil {
+				// Cold pass: one lookup per shard, none served from memory —
+				// every hit must be a disk restore (a pre-warmed -cachedir)
+				// and everything else a miss.
+				if coldSt.Hits+coldSt.Misses != int64(*shards) || coldSt.Hits != coldSt.DiskHits {
+					return fmt.Errorf("seed %d: cold pass stats %+v, want %d lookups with no in-memory hits", seed, coldSt, *shards)
+				}
 			}
 			coldDiskHits += coldSt.DiskHits
 			if err := runCached("warm"); err != nil {
 				return err
 			}
-			// Warm pass: every shard must be an IN-MEMORY hit — no misses,
-			// no disk restores. A broken memory tier silently served by
-			// disk (or re-simulating) must fail here.
-			warmSt := cache.Stats()
-			if warmSt.Hits-coldSt.Hits != int64(*shards) || warmSt.Misses != coldSt.Misses || warmSt.DiskHits != coldSt.DiskHits {
-				return fmt.Errorf("seed %d: warm pass stats %+v (after cold %+v), want %d in-memory hits and nothing else", seed, warmSt, coldSt, *shards)
+			if inj == nil {
+				// Warm pass: every shard must be an IN-MEMORY hit — no
+				// misses, no disk restores. A broken memory tier silently
+				// served by disk (or re-simulating) must fail here.
+				warmSt := cache.Stats()
+				if warmSt.Hits-coldSt.Hits != int64(*shards) || warmSt.Misses != coldSt.Misses || warmSt.DiskHits != coldSt.DiskHits {
+					return fmt.Errorf("seed %d: warm pass stats %+v (after cold %+v), want %d in-memory hits and nothing else", seed, warmSt, coldSt, *shards)
+				}
 			}
 
 			restarted := sim.NewShardCache()
 			restarted.AttachDisk(disk)
 			rr, err := sim.Run(core.New(core.DefaultConfig()), train, simTr,
-				sim.Options{Shards: *shards, Cache: restarted, RetrainEvery: *retrain})
+				sim.Options{Shards: *shards, Cache: restarted, RetrainEvery: *retrain, FaultHook: hook})
 			if err != nil {
 				return err
 			}
 			if err := compare(fmt.Sprintf("seed %d: cached (restart) x%d", seed, *shards), rd, rr); err != nil {
 				return err
 			}
-			if st := restarted.Stats(); st.DiskHits != int64(*shards) {
+			if st := restarted.Stats(); inj == nil && st.DiskHits != int64(*shards) {
 				return fmt.Errorf("seed %d: restart pass stats %+v, want %d disk hits (entries did not survive)", seed, st, *shards)
 			}
 		}
@@ -273,19 +312,28 @@ func run() error {
 	if *stream {
 		fmt.Printf("disk cache: %d entries restored on cold passes\n", coldDiskHits)
 	}
+	if inj != nil {
+		fmt.Printf("faults(seed=%d): %s\n", *faultSeed, inj)
+		if inj.Total() == 0 {
+			// A faults run that injected nothing proved nothing — the seam
+			// came unwired, or the run is far too small for the rates.
+			return fmt.Errorf("-faults %d injected no faults; the harness is not exercising the fault surface", *faultSeed)
+		}
+	}
 	return checkHeap(watch, *maxHeap)
 }
 
 // runStreamed simulates SPES over the settings' workload through the
 // streamed engine: the trace pair is produced one shard at a time inside
-// the simulation workers, pipelined with their simulations.
-func runStreamed(s experiments.Settings, shards, workers, retrain int) (*sim.Result, error) {
+// the simulation workers, pipelined with their simulations. A non-nil hook
+// injects worker faults at the shard boundary.
+func runStreamed(s experiments.Settings, shards, workers, retrain int, hook sim.ShardFaultHook) (*sim.Result, error) {
 	src, err := experiments.StreamSource(s, shards)
 	if err != nil {
 		return nil, err
 	}
 	return sim.RunStreamed(core.New(core.DefaultConfig()), src,
-		sim.Options{Workers: workers, RetrainEvery: retrain})
+		sim.Options{Workers: workers, RetrainEvery: retrain, FaultHook: hook})
 }
 
 // checkHeap enforces -maxheap over the sampled run.

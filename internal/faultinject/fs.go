@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// FS is the fault-injecting sim.CacheFS: every operation consults the
+// injector's schedule, then (absent a fault) hits the real filesystem.
+// Read faults are keyed by the entry filename, write faults by the content
+// being written (temp filenames embed a random component; content is
+// stable), rename faults by the destination name — see the package comment
+// for why that makes the schedule reproducible under concurrency.
+type FS struct{ in *Injector }
+
+var _ sim.CacheFS = (*FS)(nil)
+
+// FS returns the injector's filesystem seam, for
+// sim.OpenDiskCacheFS(dir, inj.FS()).
+func (in *Injector) FS() *FS { return &FS{in: in} }
+
+// ReadFile implements sim.CacheFS: it may fail with an injected transient
+// error or return a copy of the file with one bit flipped (the checksum on
+// every disk entry must turn that into a miss, never a wrong result).
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	base := filepath.Base(name)
+	seq := fs.in.next("read:" + base)
+	if fs.in.decide("readerr", base, seq, fs.in.cfg.ReadErr) {
+		return nil, &Error{Site: "readerr", Subject: base, Seq: seq}
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 && fs.in.decide("bitflip", base, seq, fs.in.cfg.BitFlip) {
+		out := make([]byte, len(data))
+		copy(out, data)
+		bit := fs.in.roll("bitflip-pos", base, seq)
+		out[bit%uint64(len(out))] ^= 1 << (bit % 8)
+		return out, nil
+	}
+	return data, nil
+}
+
+// CreateTemp implements sim.CacheFS; the returned file injects write
+// faults.
+func (fs *FS) CreateTemp(dir, pattern string) (sim.CacheFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, in: fs.in}, nil
+}
+
+// Rename implements sim.CacheFS with injected transient failures, keyed by
+// the destination entry name.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	base := filepath.Base(newpath)
+	seq := fs.in.next("rename:" + base)
+	if fs.in.decide("renameerr", base, seq, fs.in.cfg.RenameErr) {
+		return &Error{Site: "renameerr", Subject: base, Seq: seq}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove implements sim.CacheFS (passthrough: failing cleanup would only
+// mask the fault being tested).
+func (fs *FS) Remove(name string) error { return os.Remove(name) }
+
+// file wraps a temp file with injected write faults.
+type file struct {
+	f  *os.File
+	in *Injector
+}
+
+// Write may fail with an injected transient error, or lie: report full
+// length while persisting only a prefix (a silently-truncating disk). The
+// lie is only discoverable through the entry checksum on a later read —
+// which is exactly the path under test. Decisions are keyed by a hash of
+// the content, the one stable identity a randomly-named temp file has.
+func (w *file) Write(p []byte) (int, error) {
+	subject := contentKey(p)
+	seq := w.in.next("write:" + subject)
+	if w.in.decide("writeerr", subject, seq, w.in.cfg.WriteErr) {
+		return 0, &Error{Site: "writeerr", Subject: subject, Seq: seq}
+	}
+	if len(p) > 1 && w.in.decide("shortwrite", subject, seq, w.in.cfg.ShortWrite) {
+		if _, err := w.f.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Close() error { return w.f.Close() }
+func (w *file) Name() string { return w.f.Name() }
+
+// contentKey is the stable write subject: an FNV-1a hash of the bytes,
+// hex-ish encoded.
+func contentKey(p []byte) string {
+	const prime, offset = 1099511628211, 14695981039346656037
+	h := uint64(offset)
+	for _, b := range p {
+		h = (h ^ uint64(b)) * prime
+	}
+	const hexdigits = "0123456789abcdef"
+	var out [16]byte
+	for i := range out {
+		out[i] = hexdigits[(h>>(60-4*i))&0xf]
+	}
+	return string(out[:])
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/list"
 	"fmt"
+	"log"
 	"sync"
 
 	"repro/internal/trace"
@@ -83,14 +84,31 @@ type ShardCache struct {
 	maxEntries int
 	maxBytes   int64
 
-	disk *DiskCache
+	disk     *DiskCache
+	manifest *SweepManifest
 
 	hits      int64
 	misses    int64
 	evictions int64
 	diskHits  int64
 	diskErrs  int64
+
+	// Disk-tier tripwire: consecutive hard I/O failures (reads and writes;
+	// corrupt entries don't count — they are content damage, not a device
+	// problem) trip the disk tier off after DiskFailureTripwire in a row,
+	// so a dying or full volume degrades the cache to in-memory-only
+	// instead of hammering every shard with doomed syscalls. Logged once;
+	// the in-memory tier and the simulation itself are unaffected.
+	diskFails    int
+	diskDisabled bool
 }
+
+// DiskFailureTripwire is how many consecutive disk-tier I/O failures
+// disable the tier for the rest of the process (any success resets the
+// count). The value is a balance: low enough that a dead volume stops
+// costing a syscall (plus retries) per shard quickly, high enough that a
+// brief stall does not silently turn off restart-survival for the run.
+const DiskFailureTripwire = 8
 
 // lruEntry is one resident cache slot.
 type lruEntry struct {
@@ -128,11 +146,26 @@ func (c *ShardCache) SetBudget(maxEntries int, maxBytes int64) {
 // AttachDisk adds an on-disk spill/restore tier: stores write through to
 // d, in-memory misses consult d before re-simulating, and LRU-evicted
 // entries stay restorable from d. Attach before running; entries stored
-// earlier are not retroactively spilled.
+// earlier are not retroactively spilled. Attaching also re-arms the
+// disk-tier tripwire (a fresh tier deserves a fresh failure budget).
 func (c *ShardCache) AttachDisk(d *DiskCache) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.disk = d
+	c.diskFails = 0
+	c.diskDisabled = false
+}
+
+// AttachManifest journals every unit this cache completes (fresh stores
+// and disk restores alike) to m, giving a sweep its checkpoint/resume
+// record: on restart, units present in the manifest and restorable from
+// the disk tier replay instead of re-simulating, and the manifest tells
+// the caller how much of the sweep was already done. Attach before
+// running.
+func (c *ShardCache) AttachManifest(m *SweepManifest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.manifest = m
 }
 
 // lookup returns the cached entry for key, counting a hit or miss. The
@@ -149,7 +182,7 @@ func (c *ShardCache) lookup(key shardKey) *shardEntry {
 		return ent
 	}
 	disk := c.disk
-	if disk == nil {
+	if disk == nil || c.diskDisabled {
 		c.misses++
 		c.mu.Unlock()
 		return nil
@@ -158,18 +191,40 @@ func (c *ShardCache) lookup(key shardKey) *shardEntry {
 
 	ent, err := disk.load(key)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err != nil {
-		c.diskErrs++
+		c.noteDiskErrLocked(err)
+	} else {
+		c.diskFails = 0
 	}
 	if ent != nil {
 		c.insertLocked(key, ent)
 		c.hits++
 		c.diskHits++
+		m := c.manifest
+		c.mu.Unlock()
+		if m != nil {
+			// A restored unit is a completed unit: journal it so a manifest
+			// opened against a pre-populated cache directory converges on
+			// the truth instead of under-reporting.
+			m.record(key)
+		}
 		return ent
 	}
 	c.misses++
+	c.mu.Unlock()
 	return nil
+}
+
+// noteDiskErrLocked counts one disk-tier I/O failure and trips the tier
+// off after DiskFailureTripwire consecutive ones. Callers hold mu.
+func (c *ShardCache) noteDiskErrLocked(err error) {
+	c.diskErrs++
+	c.diskFails++
+	if !c.diskDisabled && c.diskFails >= DiskFailureTripwire {
+		c.diskDisabled = true
+		log.Printf("sim: disk cache tier disabled after %d consecutive I/O failures (last: %v); continuing with the in-memory tier only",
+			c.diskFails, err)
+	}
 }
 
 // store records a freshly simulated shard outcome, writing through to the
@@ -179,17 +234,27 @@ func (c *ShardCache) lookup(key shardKey) *shardEntry {
 func (c *ShardCache) store(key shardKey, ent *shardEntry) {
 	c.mu.Lock()
 	disk := c.disk
+	if c.diskDisabled {
+		disk = nil
+	}
 	c.mu.Unlock()
 	if disk != nil {
-		if err := disk.save(key, ent); err != nil {
-			c.mu.Lock()
-			c.diskErrs++
-			c.mu.Unlock()
+		err := disk.save(key, ent)
+		c.mu.Lock()
+		if err != nil {
+			c.noteDiskErrLocked(err)
+		} else {
+			c.diskFails = 0
 		}
+		c.mu.Unlock()
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.insertLocked(key, ent)
+	m := c.manifest
+	c.mu.Unlock()
+	if m != nil {
+		m.record(key)
+	}
 }
 
 // insertLocked puts (key, ent) at the front of the LRU, replacing any
@@ -241,14 +306,19 @@ func (c *ShardCache) evictLocked() {
 // (Bytes is the budget's estimate); Evictions counts entries pushed out by
 // the LRU budget, and DiskErrors counts disk-tier I/O failures (each of
 // which degraded to a miss or a skipped write, never a wrong result).
+// DiskDisabled reports the tripwire: DiskFailureTripwire consecutive I/O
+// failures turned the disk tier off for the rest of the process, so later
+// lookups/stores skip it (the in-memory tier keeps serving, results stay
+// correct, restart-survival is lost for this run).
 type CacheStats struct {
-	Hits       int64
-	Misses     int64
-	Entries    int
-	Bytes      int64
-	Evictions  int64
-	DiskHits   int64
-	DiskErrors int64
+	Hits         int64
+	Misses       int64
+	Entries      int
+	Bytes        int64
+	Evictions    int64
+	DiskHits     int64
+	DiskErrors   int64
+	DiskDisabled bool
 }
 
 // Stats snapshots the cache counters.
@@ -256,13 +326,14 @@ func (c *ShardCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Entries:    len(c.entries),
-		Bytes:      c.bytes,
-		Evictions:  c.evictions,
-		DiskHits:   c.diskHits,
-		DiskErrors: c.diskErrs,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Entries:      len(c.entries),
+		Bytes:        c.bytes,
+		Evictions:    c.evictions,
+		DiskHits:     c.diskHits,
+		DiskErrors:   c.diskErrs,
+		DiskDisabled: c.diskDisabled,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -35,7 +36,49 @@ import (
 // into place, and two writers racing on one key write bit-identical bytes.
 type DiskCache struct {
 	dir string
+	fs  CacheFS
 }
+
+// CacheFS is the filesystem seam every DiskCache data operation routes
+// through. Production code uses the real filesystem (OpenDiskCache); the
+// deterministic fault-injection harness (internal/faultinject) substitutes
+// an implementation that injects read/write/rename errors, short writes,
+// and bit flips on a seeded schedule — which is how the "a disk read may
+// only ever produce a bit-exact entry or a miss" rule is proven rather
+// than hoped for. Implementations must be safe for concurrent use.
+type CacheFS interface {
+	// ReadFile reads the named file (os.ReadFile semantics: a missing file
+	// returns an error satisfying os.IsNotExist).
+	ReadFile(name string) ([]byte, error)
+	// CreateTemp creates a new temp file in dir (os.CreateTemp pattern
+	// semantics).
+	CreateTemp(dir, pattern string) (CacheFile, error)
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+}
+
+// CacheFile is the writable temp-file handle CacheFS hands out.
+type CacheFile interface {
+	Write(p []byte) (n int, err error)
+	Close() error
+	Name() string
+}
+
+// osFS is the real-filesystem CacheFS.
+type osFS struct{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) CreateTemp(dir, pattern string) (CacheFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
 
 // diskMagic opens every entry file; diskVersion is the serialization
 // format version. Bump diskVersion on ANY change to the entry encoding —
@@ -59,16 +102,66 @@ const (
 // castagnoli is the CRC-32C table used for entry checksums.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// tmpPattern names the temp files save stages entries in; tmpOrphanAge is
+// how stale such a file must be before OpenDiskCache reclaims it. A process
+// killed mid-write leaves its temp file behind (the atomic-rename design
+// trades that for never exposing a half-entry), so without the sweep a
+// crash-looping sweep would accumulate garbage forever. The age gate keeps
+// the sweep safe under concurrency: a temp file younger than the gate may
+// belong to a live writer in another process, so it is left alone — it
+// either gets renamed into place or swept by a later open.
+const (
+	tmpPattern   = ".tmp-shard-*"
+	tmpOrphanAge = 15 * time.Minute
+)
+
 // OpenDiskCache opens (creating if needed) an entry directory. The same
 // directory may back many ShardCaches, concurrently and across processes.
+// Orphaned temp files from writers that died mid-write are swept on open
+// (best-effort; see tmpOrphanAge). Temp files are never served — loads
+// only ever read final entry names — so the sweep is purely a disk-space
+// reclaim.
 func OpenDiskCache(dir string) (*DiskCache, error) {
+	return OpenDiskCacheFS(dir, osFS{})
+}
+
+// OpenDiskCacheFS is OpenDiskCache with the filesystem seam explicit. Only
+// fault-injection harnesses and tests supply a non-default fs.
+func OpenDiskCacheFS(dir string, fs CacheFS) (*DiskCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sim: disk cache needs a directory")
+	}
+	if fs == nil {
+		fs = osFS{}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sim: disk cache: %w", err)
 	}
-	return &DiskCache{dir: dir}, nil
+	d := &DiskCache{dir: dir, fs: fs}
+	d.sweepOrphans()
+	return d, nil
+}
+
+// sweepOrphans removes temp files older than tmpOrphanAge. Best-effort by
+// design: a sweep failure costs disk space, never correctness, so errors
+// are ignored (directory scans and removals race benignly with concurrent
+// opens doing the same).
+func (d *DiskCache) sweepOrphans() {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tmpOrphanAge)
+	for _, ent := range ents {
+		if ok, _ := filepath.Match(tmpPattern, ent.Name()); !ok || ent.IsDir() {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		d.fs.Remove(filepath.Join(d.dir, ent.Name()))
+	}
 }
 
 // Dir returns the cache's entry directory.
@@ -87,26 +180,59 @@ func (d *DiskCache) path(key shardKey) string {
 	return filepath.Join(d.dir, fmt.Sprintf("shard-%016x.sce", h.Sum64()))
 }
 
-// save serializes an entry and renames it into place atomically. Errors are
-// reported so ShardCache can count them, but callers treat the disk tier as
-// best-effort: a failed save only costs a future re-simulation.
+// Write-path retry bounds: a failing save re-stages the whole temp-file
+// write up to diskSaveAttempts times with a short backoff. Filesystem
+// errors cannot be reliably classified from errno alone, so the write path
+// treats every failure as possibly transient and lets the attempt cap
+// bound the damage; a save that still fails is reported to ShardCache,
+// which counts it toward the disk-tier tripwire.
+const (
+	diskSaveAttempts = 3
+	diskSaveBackoff  = 2 * time.Millisecond
+)
+
+// save serializes an entry and renames it into place atomically, retrying
+// transiently failing writes. Errors are reported so ShardCache can count
+// them, but callers treat the disk tier as best-effort: a failed save only
+// costs a future re-simulation.
 func (d *DiskCache) save(key shardKey, ent *shardEntry) error {
 	buf := encodeEntry(key, ent)
-	tmp, err := os.CreateTemp(d.dir, ".tmp-shard-*")
+	var lastErr error
+	for attempt := 1; attempt <= diskSaveAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(diskSaveBackoff << (attempt - 2))
+		}
+		if lastErr = d.writeEntry(buf, key); lastErr == nil {
+			return nil
+		}
+	}
+	return lastErr
+}
+
+// writeEntry is one staged write: temp file, full-length write, close,
+// atomic rename. A short write that the filesystem does not itself report
+// is surfaced as io.ErrShortWrite (a lying disk that reports full length
+// while persisting less is caught by the entry checksum on read instead).
+func (d *DiskCache) writeEntry(buf []byte, key shardKey) error {
+	tmp, err := d.fs.CreateTemp(d.dir, tmpPattern)
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(buf); err != nil {
+	n, err := tmp.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		d.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		d.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
-		os.Remove(tmp.Name())
+	if err := d.fs.Rename(tmp.Name(), d.path(key)); err != nil {
+		d.fs.Remove(tmp.Name())
 		return err
 	}
 	return nil
@@ -114,9 +240,11 @@ func (d *DiskCache) save(key shardKey, ent *shardEntry) error {
 
 // load reads, verifies, and decodes the entry for key. It returns (nil,
 // nil) for a plain miss — no file, or a file that fails any verification
-// step — and a non-nil error only for I/O problems worth counting.
+// step (corruption is a content problem, not a device problem, so it does
+// not count toward the disk-tier tripwire) — and a non-nil error only for
+// I/O failures, which ShardCache counts and eventually trips on.
 func (d *DiskCache) load(key shardKey) (*shardEntry, error) {
-	data, err := os.ReadFile(d.path(key))
+	data, err := d.fs.ReadFile(d.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the failure-semantics layer of the sharded engine: the
+// transient-vs-deterministic error taxonomy, the structured ShardError the
+// engine surfaces, the retry/backoff policy, and the fault hook the
+// deterministic fault-injection harness (internal/faultinject) plugs into.
+// DESIGN.md "Failure semantics" is the prose form of the contracts here.
+
+// ErrInterrupted is the sentinel wrapped by every error a cancelled run
+// returns: Options.Stop was closed, the in-flight shards were drained (their
+// outcomes journaled and cached as usual), and the remaining shards were
+// never started. A caller that sees it can rerun with the same options to
+// resume — completed units replay from the manifest/cache.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// transientError marks an error as transient: worth retrying, because a
+// repeat of the same operation may succeed (I/O hiccups, injected faults,
+// resource exhaustion). Errors not so marked are classified deterministic —
+// retrying would reproduce them — and fail the shard immediately.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true for it (and for any
+// error wrapping it). Sources and hooks use it to tag failures that a
+// retry may cure; a nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient walks err's Unwrap chain for anything reporting
+// Transient() == true. It is how the shard isolation layer classifies a
+// failure: transient errors retry with backoff, everything else is
+// deterministic and surfaces on the first attempt.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// ShardError is the structured failure of one shard run: which policy and
+// shard failed, how many attempts were made, the final classification, and
+// the cause. A sharded Run/RunStreamed that cannot complete returns an
+// errors.Join of one ShardError per failed shard (plus ErrInterrupted when
+// the run was cancelled); callers unpack them with errors.As.
+type ShardError struct {
+	Policy    string // policy whose shard failed
+	Shard     int    // shard index within the source
+	Shards    int    // total shard count, for context in messages
+	Attempts  int    // simulation attempts made (>= 1)
+	Transient bool   // final classification of Err (a true value means retries were exhausted)
+	Panicked  bool   // the last failure was a recovered panic, not an error return
+	Err       error  // the last attempt's failure
+}
+
+func (e *ShardError) Error() string {
+	kind := "deterministic"
+	if e.Transient {
+		kind = "transient (retries exhausted)"
+	}
+	if e.Panicked {
+		kind += ", recovered panic"
+	}
+	return fmt.Sprintf("sim: policy %s shard %d/%d failed after %d attempt(s), %s: %v",
+		e.Policy, e.Shard, e.Shards, e.Attempts, kind, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RetryPolicy bounds the shard isolation layer's retries: a transient
+// failure (IsTransient, or any recovered panic — a crash may be cured by a
+// re-run, and re-running a pure shard simulation is always safe) re-runs
+// the shard up to MaxAttempts times total, sleeping BaseDelay << (attempt-1)
+// capped at MaxDelay between attempts. Zero fields take the defaults; a
+// negative MaxAttempts disables retries (one attempt, still recovered and
+// classified).
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts per shard, including the first (default 3)
+	BaseDelay   time.Duration // first backoff sleep (default 5ms)
+	MaxDelay    time.Duration // backoff cap (default 250ms)
+}
+
+// Defaults for RetryPolicy's zero fields.
+const (
+	defaultRetryAttempts = 3
+	defaultRetryBase     = 5 * time.Millisecond
+	defaultRetryMax      = 250 * time.Millisecond
+)
+
+// attempts resolves the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	switch {
+	case p.MaxAttempts < 0:
+		return 1
+	case p.MaxAttempts == 0:
+		return defaultRetryAttempts
+	default:
+		return p.MaxAttempts
+	}
+}
+
+// backoff returns the sleep before attempt n+1 (n is the 1-based attempt
+// that just failed): BaseDelay doubled per failure, capped at MaxDelay.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	if cap <= 0 {
+		cap = defaultRetryMax
+	}
+	d := base
+	for i := 1; i < n && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// ShardFaultHook is the fault-injection seam at the shard-worker boundary:
+// when Options.FaultHook is set, the engine calls BeforeShard(shard,
+// attempt) inside the worker immediately before simulating that shard
+// (attempt counts from 1; cache hits skip simulation and the hook). The
+// hook may sleep (an artificially slow shard) or panic (an injected worker
+// crash) — the isolation layer must recover, classify, retry, and keep the
+// run's results bit-identical whenever it completes, which is exactly what
+// the fault-injection tests assert. internal/faultinject's Injector
+// implements this interface with a seeded deterministic schedule.
+type ShardFaultHook interface {
+	BeforeShard(shard, attempt int)
+}
+
+// panicError carries a recovered panic value across the retry loop. All
+// recovered panics are treated as retryable (see RetryPolicy): a
+// deterministic panic simply exhausts the attempt budget and surfaces as a
+// ShardError with Panicked set.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("shard worker panic: %v", e.val) }
+
+func (e *panicError) Unwrap() error {
+	if err, ok := e.val.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// isPanic reports whether err carries a recovered panic.
+func isPanic(err error) bool {
+	var pe *panicError
+	return errors.As(err, &pe)
+}

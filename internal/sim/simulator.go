@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -74,6 +75,29 @@ type Options struct {
 	// Retrain. 0 defaults to the training window length (or RetrainEvery
 	// when there is no training trace).
 	RetrainWindow int
+
+	// Retry bounds the sharded engine's per-shard failure handling: a shard
+	// whose worker panics or returns a transient error (sim.IsTransient) is
+	// re-produced and re-simulated with capped exponential backoff, up to
+	// Retry.MaxAttempts times, before surfacing a ShardError. Deterministic
+	// errors surface on the first attempt. The zero value takes the
+	// defaults; re-running a shard is always safe because shard simulation
+	// is pure (fresh policy instance, read-only views).
+	Retry RetryPolicy
+
+	// Stop, when non-nil, requests a graceful cancellation when closed: the
+	// sharded engine starts no new shard work, drains the shards already in
+	// flight (their outcomes are cached and journaled as usual), and
+	// returns an error wrapping ErrInterrupted. Rerunning with the same
+	// options resumes from the completed units.
+	Stop <-chan struct{}
+
+	// FaultHook, when non-nil, is called at the shard-worker boundary
+	// immediately before each shard simulation attempt. It exists for
+	// deterministic fault injection (internal/faultinject): the hook may
+	// sleep or panic, and the isolation layer must absorb both. Production
+	// code leaves it nil.
+	FaultHook ShardFaultHook
 
 	// pool is the shared worker budget. RunAll seeds it so that policies x
 	// shards never exceed Workers concurrent simulations; runSharded creates
@@ -196,6 +220,17 @@ type slotLog struct {
 // function population (same FuncID space). Options.Shards > 1 runs the
 // sharded engine instead: one policy instance per population shard,
 // concurrently, with a deterministic merge.
+//
+// Failure contract (see DESIGN.md "Failure semantics"): a partial merge
+// would be a wrong answer, so Run returns a nil Result on any failure —
+// but under the sharded engine a failing (or panicking) shard no longer
+// aborts the siblings: every shard runs to its own verdict, transient
+// failures retry per Options.Retry, and the returned error is an
+// errors.Join of one structured ShardError per shard that still failed
+// (unpack with errors.As). Completed shards' outcomes persist in the
+// attached cache/manifest, so a rerun resumes rather than starting over.
+// A run cancelled via Options.Stop returns an error wrapping
+// ErrInterrupted after draining in-flight shards.
 func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result, error) {
 	if opts.Source != nil {
 		return RunStreamed(policy, opts.Source, opts)
@@ -534,6 +569,22 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	logs := make([]*slotLog, p)
 	globals := make([][]trace.FuncID, p)
 	errs := make([]error, p)
+	started := make([]bool, p)
+
+	// stopped reports whether a graceful cancellation was requested; workers
+	// poll it between shards, never mid-simulation, so in-flight shards
+	// drain (and their outcomes persist) before the run returns.
+	stopped := func() bool {
+		if opts.Stop == nil {
+			return false
+		}
+		select {
+		case <-opts.Stop:
+			return true
+		default:
+			return false
+		}
+	}
 
 	// The shard run is split into two stages so workers can pipeline them:
 	// produce (cache lookup — including the disk tier — and, on a miss,
@@ -541,8 +592,17 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 	// of every other shard, so a worker can overlap shard j's production
 	// with shard i's simulation; simulation order and the merge stay
 	// untouched, so the pipelining is invisible in the results.
-	produce := func(i int) producedShard {
-		var ps producedShard
+	//
+	// produce never lets a panic escape: a panicking source (or injected
+	// fault) in the prefetch goroutine would otherwise kill the process
+	// outside any recovery. The recovered panic rides producedShard.err
+	// through the same classify/retry path as an error return.
+	produce := func(i int) (ps producedShard) {
+		defer func() {
+			if v := recover(); v != nil {
+				ps.err = &panicError{val: v}
+			}
+		}()
 		if cache != nil && hasher != nil && fps != nil {
 			if fp, ok := fps.ShardFingerprint(i); ok {
 				ps.key = shardKey{
@@ -561,34 +621,73 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 		ps.train, ps.sim, ps.err = src.Shard(i)
 		return ps
 	}
-	simulate := func(i int, ps producedShard) {
+	// attempt runs one shard simulation attempt with panics contained.
+	attempt := func(i, n int, ps producedShard) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &panicError{val: v}
+			}
+		}()
 		if ps.ent != nil {
 			results[i], logs[i], globals[i] = ps.ent.res, ps.ent.log, ps.ent.global
-			return
+			return nil
 		}
 		if ps.err != nil {
-			errs[i] = fmt.Errorf("producing shard: %w", ps.err)
-			return
+			return fmt.Errorf("producing shard: %w", ps.err)
+		}
+		if opts.FaultHook != nil {
+			opts.FaultHook.BeforeShard(i, n)
 		}
 		globals[i] = ps.sim.Global
 		logs[i] = &slotLog{
 			loaded: make([]int32, 0, slots),
 			active: make([]int32, 0, slots),
 		}
-		var tr *trace.Trace
-		if ps.train != nil {
-			tr = ps.train.Trace
+		res, err := runOne(sp.NewShard(), tr(ps), ps.sim.Trace, inner, logs[i])
+		if err != nil {
+			return err
 		}
-		results[i], errs[i] = runOne(sp.NewShard(), tr, ps.sim.Trace, inner, logs[i])
-		if ps.cacheable && errs[i] == nil {
-			cache.store(ps.key, &shardEntry{res: results[i], log: logs[i], global: globals[i]})
+		results[i] = res
+		if ps.cacheable {
+			cache.store(ps.key, &shardEntry{res: res, log: logs[i], global: globals[i]})
+		}
+		return nil
+	}
+	// simulate is the isolation boundary: recover, classify transient vs
+	// deterministic, retry transients with capped exponential backoff, and
+	// surface the final failure as a structured ShardError while the other
+	// shards keep running.
+	simulate := func(i int, ps producedShard) {
+		started[i] = true
+		max := opts.Retry.attempts()
+		for n := 1; ; n++ {
+			err := attempt(i, n, ps)
+			if err == nil {
+				errs[i] = nil
+				return
+			}
+			panicked := isPanic(err)
+			transient := panicked || IsTransient(err)
+			if !transient || n >= max {
+				results[i] = nil
+				errs[i] = &ShardError{
+					Policy: policy.Name(), Shard: i, Shards: p,
+					Attempts: n, Transient: transient, Panicked: panicked, Err: err,
+				}
+				return
+			}
+			time.Sleep(opts.Retry.backoff(n))
+			// Re-produce from scratch: the failed attempt's views (or cache
+			// entry) are suspect, and a transient production fault needs the
+			// production re-run too.
+			ps = produce(i)
 		}
 	}
 
 	if opts.MeasureOverhead {
 		// Sequential and unpipelined: per-Tick timings must not contend for
 		// cores. One shard resident at a time — the minimal-memory path.
-		for i := 0; i < p; i++ {
+		for i := 0; i < p && !stopped(); i++ {
 			simulate(i, produce(i))
 		}
 	} else {
@@ -625,26 +724,64 @@ func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
 						ps = <-next
 						next = nil
 					} else {
+						if stopped() {
+							return
+						}
 						ps = produce(i)
 					}
-					if j := i + workers; j < p {
+					if j := i + workers; j < p && !stopped() {
 						ch := make(chan producedShard, 1)
 						next = ch
 						go func(j int) { ch <- produce(j) }(j)
 					}
 					simulate(i, ps)
+					if stopped() {
+						// Drain the prefetch (its goroutine must not leak a
+						// send) but start nothing new.
+						if next != nil {
+							<-next
+						}
+						return
+					}
 				}
 			}(w)
 		}
 		wg.Wait()
 	}
+
+	// Aggregate instead of aborting on the first failure: every failed
+	// shard contributes its ShardError, and a cancelled run additionally
+	// wraps ErrInterrupted. A partial merge would be a wrong Result, so any
+	// failure means a nil Result — but the completed shards' outcomes are
+	// already cached and journaled, which is what makes a rerun resume
+	// instead of starting over.
+	var joined []error
+	interrupted := false
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: shard %d/%d: %w", i, p, err)
+			joined = append(joined, err)
+		} else if !started[i] {
+			interrupted = true
 		}
+	}
+	if interrupted {
+		joined = append([]error{fmt.Errorf("%w: %s stopped before all %d shards ran",
+			ErrInterrupted, policy.Name(), p)}, joined...)
+	}
+	if len(joined) > 0 {
+		return nil, errors.Join(joined...)
 	}
 
 	return mergeShardResults(policy.Name(), slots, src.NumFunctions(), globals, results, logs), nil
+}
+
+// tr extracts the produced shard's training trace (nil for policies without
+// an offline phase).
+func tr(ps producedShard) *trace.Trace {
+	if ps.train != nil {
+		return ps.train.Trace
+	}
+	return nil
 }
 
 // producedShard is the output of the produce stage of a pipelined shard
@@ -718,15 +855,22 @@ func mergeShardResults(name string, slots, n int, globals [][]trace.FuncID, resu
 // RunAll simulates several policies over the same train/sim pair, returning
 // results in input order. Policy runs are independent (each policy owns its
 // state and the traces are only read), so they execute concurrently, one
-// goroutine per policy; errors report the first failing policy in input
-// order. Concurrency is bounded by one shared worker budget (Options.
-// Workers): with Options.Shards > 1, the policies' shard runs all draw from
-// the same budget, so policies x shards never oversubscribes the machine.
-// A caller-supplied opts.Progress is serialized so callers need no locking
-// of their own, but it observes the policies' interleaved slot numbers.
-// MeasureOverhead runs the policies (and their shards) fully sequentially
-// instead: per-Tick wall-clock timings taken while policies contend for
-// cores would be meaningless.
+// goroutine per policy. Concurrency is bounded by one shared worker budget
+// (Options.Workers): with Options.Shards > 1, the policies' shard runs all
+// draw from the same budget, so policies x shards never oversubscribes the
+// machine. A caller-supplied opts.Progress is serialized so callers need no
+// locking of their own, but it observes the policies' interleaved slot
+// numbers. MeasureOverhead runs the policies (and their shards) fully
+// sequentially instead: per-Tick wall-clock timings taken while policies
+// contend for cores would be meaningless.
+//
+// Failure contract (see DESIGN.md "Failure semantics"): one failing policy
+// no longer aborts the others. RunAll always returns the full results slice
+// — results[i] is nil exactly when policy i failed — together with an
+// errors.Join of every per-policy error (each wrapping that policy's
+// ShardErrors where applicable), or nil when everything succeeded. Callers
+// that want the old all-or-nothing behaviour just check err != nil; callers
+// that can use partial results filter the nils.
 func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([]*Result, error) {
 	if opts.Source == nil && opts.Shards > 1 && simTrace != nil && opts.shardSet == nil &&
 		(training == nil || training.NumFunctions() == simTrace.NumFunctions()) {
@@ -737,14 +881,16 @@ func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([
 	}
 	if opts.MeasureOverhead {
 		results := make([]*Result, len(policies))
+		var joined []error
 		for i, p := range policies {
 			r, err := Run(p, training, simTrace, opts)
 			if err != nil {
-				return nil, fmt.Errorf("sim: policy %s: %w", p.Name(), err)
+				joined = append(joined, fmt.Errorf("sim: policy %s: %w", p.Name(), err))
+				continue
 			}
 			results[i] = r
 		}
-		return results, nil
+		return results, errors.Join(joined...)
 	}
 	if opts.Progress != nil {
 		var mu sync.Mutex
@@ -774,10 +920,11 @@ func RunAll(policies []Policy, training, simTrace *trace.Trace, opts Options) ([
 		}(i, p)
 	}
 	wg.Wait()
+	var joined []error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			joined = append(joined, err)
 		}
 	}
-	return results, nil
+	return results, errors.Join(joined...)
 }
