@@ -10,15 +10,21 @@
 //
 // Comparisons (only keys present in BOTH snapshots are compared):
 //   - per-Tick benchmark ns/op, by benchmark name;
-//   - scale-sweep full-simulation wall time, by (functions, shards, mode);
+//   - per-Tick benchmark bytes/op and allocs/op, by benchmark name;
+//   - scale-sweep full-simulation wall time, by (functions, shards, mode,
+//     scenario);
 //   - scale-sweep heap_peak_bytes, same key.
 //
 // Tolerances are deliberately generous — CI runners are shared and differ
 // from the machine that produced the baseline. Time violations (default
-// 2.5x) WARN unless -fail-on-time is set: wall clock across heterogeneous
-// runners is advisory. Heap violations (default 1.3x beyond an absolute
-// -heap-slack) always fail: residency is machine-independent, so a peak
-// that grew 1.3x is a real regression, not noise.
+// 2.5x) WARN unless -fail-on-time is set — with one exception: the per-Tick
+// Overhead benchmarks hard-fail on time, because their whole point is the
+// paper's per-Tick overhead claim and their costs are large multiples of
+// scheduler noise. Allocation violations (default 1.5x beyond an absolute
+// -alloc-slack) always fail: Go allocation counts are deterministic for a
+// given binary, so growth is a real regression, not runner noise. Heap
+// violations (default 1.3x beyond an absolute -heap-slack) always fail for
+// the same reason.
 package main
 
 import (
@@ -29,19 +35,23 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // benchmark and sweepPoint mirror the benchjson Snapshot fields the gate
 // reads; unknown fields are ignored, so the formats can grow.
 type benchmark struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 type sweepPoint struct {
 	Functions     int     `json:"functions"`
 	Shards        int     `json:"shards"`
 	Mode          string  `json:"mode"`
+	Scenario      string  `json:"scenario,omitempty"`
 	FullSimMs     float64 `json:"full_sim_ms"`
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
 }
@@ -66,14 +76,17 @@ func run() error {
 	timeTol := flag.Float64("time-tol", 2.5, "fail/warn when a timing exceeds baseline by this factor")
 	heapTol := flag.Float64("heap-tol", 1.3, "fail when a sweep point's heap peak exceeds baseline by this factor")
 	heapSlack := flag.Int64("heap-slack", 8<<20, "absolute heap growth (bytes) ignored regardless of ratio — GC timing jitter floor for small heaps")
+	allocTol := flag.Float64("alloc-tol", 1.5, "fail when a benchmark's bytes/op or allocs/op exceeds baseline by this factor")
+	allocSlack := flag.Float64("alloc-slack", 256, "absolute bytes/op growth ignored regardless of ratio (allocs/op uses 1/64 of it)")
 	failOnTime := flag.Bool("fail-on-time", false, "treat timing violations as failures instead of warnings")
 	flag.Parse()
 
 	if *current == "" {
 		return fmt.Errorf("-current is required (generate it with cmd/benchjson)")
 	}
-	if *timeTol <= 1 || *heapTol <= 1 {
-		return fmt.Errorf("-time-tol and -heap-tol must be > 1, got %v / %v", *timeTol, *heapTol)
+	if *timeTol <= 1 || *heapTol <= 1 || *allocTol <= 1 {
+		return fmt.Errorf("-time-tol, -heap-tol and -alloc-tol must be > 1, got %v / %v / %v",
+			*timeTol, *heapTol, *allocTol)
 	}
 	basePath := *baseline
 	if basePath == "" {
@@ -124,32 +137,60 @@ func run() error {
 			report(true, "%s: current snapshot has no timing (baseline %.0f ns/op)", c.Name, b.NsPerOp)
 			continue
 		}
+		// Per-Tick Overhead benchmarks hard-fail on time: they back the
+		// paper's overhead claim, and their budget assumes the event-driven
+		// engines, so a slide back toward per-slot scans must not land.
+		hardTime := *failOnTime || strings.Contains(c.Name, "Overhead")
 		ratio := c.NsPerOp / b.NsPerOp
 		if ratio > *timeTol {
-			report(*failOnTime, "%s: %.0f ns/op vs %.0f baseline (%.2fx > %.2fx)",
+			report(hardTime, "%s: %.0f ns/op vs %.0f baseline (%.2fx > %.2fx)",
 				c.Name, c.NsPerOp, b.NsPerOp, ratio, *timeTol)
 		} else {
 			fmt.Printf("ok    %s: %.0f ns/op vs %.0f baseline (%.2fx)\n", c.Name, c.NsPerOp, b.NsPerOp, ratio)
 		}
+
+		// Allocation gate: bytes/op and allocs/op are deterministic for a
+		// given binary, so violations always hard-fail. A current value of 0
+		// against a positive baseline is a legitimate improvement (steady-
+		// state alloc-free Ticks), not a broken snapshot — benchjson always
+		// emits the fields under -benchmem.
+		for _, a := range []struct {
+			what       string
+			base, curV float64
+			slack      float64
+		}{
+			{"B/op", b.BytesPerOp, c.BytesPerOp, *allocSlack},
+			{"allocs/op", b.AllocsPerOp, c.AllocsPerOp, *allocSlack / 64},
+		} {
+			if a.curV > a.base*(*allocTol) && a.curV > a.base+a.slack {
+				report(true, "%s: %.0f %s vs %.0f baseline (> %.2fx beyond %.0f slack)",
+					c.Name, a.curV, a.what, a.base, *allocTol, a.slack)
+			} else if a.base > 0 || a.curV > 0 {
+				fmt.Printf("ok    %s: %.0f %s vs %.0f baseline\n", c.Name, a.curV, a.what, a.base)
+			}
+		}
 	}
 
-	// Sweep points by (functions, shards, mode).
+	// Sweep points by (functions, shards, mode, scenario).
 	type sweepKey struct {
 		functions, shards int
-		mode              string
+		mode, scenario    string
 	}
 	baseSweep := make(map[sweepKey]sweepPoint, len(base.Sweep))
 	for _, p := range base.Sweep {
-		baseSweep[sweepKey{p.Functions, p.Shards, p.Mode}] = p
+		baseSweep[sweepKey{p.Functions, p.Shards, p.Mode, p.Scenario}] = p
 	}
 	heapCompared := 0
 	for _, c := range cur.Sweep {
-		p, ok := baseSweep[sweepKey{c.Functions, c.Shards, c.Mode}]
+		p, ok := baseSweep[sweepKey{c.Functions, c.Shards, c.Mode, c.Scenario}]
 		if !ok {
 			continue
 		}
 		compared++
 		label := fmt.Sprintf("sweep n=%d x%d %s", c.Functions, c.Shards, c.Mode)
+		if c.Scenario != "" {
+			label += " " + c.Scenario
+		}
 		if p.FullSimMs > 0 && c.FullSimMs <= 0 {
 			report(true, "%s: current snapshot has no wall time (baseline %.1fms)", label, p.FullSimMs)
 		}

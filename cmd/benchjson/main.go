@@ -101,6 +101,7 @@ type SweepPoint struct {
 	Seed           int64   `json:"seed"`
 	Shards         int     `json:"shards"`
 	Mode           string  `json:"mode"`
+	Scenario       string  `json:"scenario,omitempty"`    // library scenario ("" = stationary sparse)
 	GenerateMs     float64 `json:"generate_ms,omitempty"` // materialized only; streamed generates inside FullSimMs
 	FullSimMs      float64 `json:"full_sim_ms"`           // train + simulate (streamed: + generation), wall clock
 	HeapPeakBytes  uint64  `json:"heap_peak_bytes"`
@@ -269,6 +270,42 @@ func runSweep(scales, shardCounts []int, seed int64, stop <-chan struct{}) ([]Sw
 		}
 	}
 	return out, nil
+}
+
+// runMegaPoint measures one very-large-population streamed point — the
+// million-function regime the event-driven cores and the simulator's
+// idle-span batching exist for. It always streams (a materialized 1M-trace
+// pair would dominate the heap figures) and applies a library scenario so
+// the point exercises the non-stationary paths too. Off in the CI smoke
+// sweep; the committed BENCH_<n>.json baselines carry it, and benchgate
+// compares it by (functions, shards, mode, scenario) when both sides have
+// it.
+func runMegaPoint(scenario string, n, shards int, seed int64, stop <-chan struct{}) (SweepPoint, error) {
+	s := experiments.SparseSettings(n, seed)
+	if scenario != "" {
+		if err := s.ApplyScenario(scenario); err != nil {
+			return SweepPoint{}, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: mega point n=%d shards=%d scenario=%q streamed...\n", n, shards, scenario)
+	pt := SweepPoint{
+		Functions: n, Days: s.Days, TrainDays: s.TrainDays,
+		Seed: seed, Shards: shards, Mode: "streamed", Scenario: scenario,
+	}
+	src, err := experiments.StreamSource(s, shards)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	watch := memwatch.Watch()
+	start := time.Now()
+	res, err := sim.RunStreamed(core.New(core.DefaultConfig()), src, sim.Options{Stop: stop})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	pt.FullSimMs = msSince(start)
+	pt.HeapPeakBytes, pt.HeapAfterBytes = watch.Finish()
+	pt.ColdStarts, pt.WMT, pt.MaxLoaded = res.TotalColdStarts, res.TotalWMT, res.MaxLoaded
+	return pt, nil
 }
 
 // runCacheSweep measures the incremental sweep cache: a 5-point
@@ -482,6 +519,10 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated population sizes for the full-simulation scale sweep (empty: skip)")
 	sweepShards := flag.String("sweepShards", "1,4", "comma-separated shard counts per sweep scale (counts > 1 also run streamed)")
 	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
+	mega := flag.Bool("mega", false, "add one very-large-population streamed sweep point (see -megaFunctions/-megaShards/-megaScenario); off in the CI smoke sweep, on when regenerating a committed baseline")
+	megaFunctions := flag.Int("megaFunctions", 1_000_000, "population size of the -mega point")
+	megaShards := flag.Int("megaShards", 16, "shard count of the -mega point")
+	megaScenario := flag.String("megaScenario", "flashcrowd", "library scenario applied to the -mega point (empty: stationary sparse)")
 	cacheSweep := flag.String("cacheSweep", "", "comma-separated population sizes for the cold-vs-warm sweep-cache measurement (empty: skip)")
 	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
 	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed, journals completed units to <dir>/sweep.journal (kill + rerun resumes), and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
@@ -589,6 +630,13 @@ func main() {
 		if err != nil {
 			fail("sweep", err)
 		}
+	}
+	if *mega {
+		pt, err := runMegaPoint(*megaScenario, *megaFunctions, *megaShards, *sweepSeed, stop)
+		if err != nil {
+			fail("mega point", err)
+		}
+		snap.Sweep = append(snap.Sweep, pt)
 	}
 	if len(cacheScales) > 0 {
 		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed, cacheSweepOpts{

@@ -304,6 +304,102 @@ func TestBaselineDeltaAccountingEquivalence(t *testing.T) {
 	}
 }
 
+// TestWheelBaselineEquivalence is the baseline counterpart of
+// TestSPESEventEngineEquivalence: every deadline-based baseline now runs on
+// the shared timing wheel by default, and this matrix pins the wheel engine
+// bit-identical to the retained map-agenda reference across seeds,
+// non-stationary scenarios, and the unsharded, sharded, and streamed
+// execution engines. The reference runs map-agenda + dense accounting scan
+// (scanOnly also hides NextWake, so the reference can never batch-advance);
+// the wheel runs use delta accounting and are therefore also exercising the
+// simulator's idle-span skipping.
+func TestWheelBaselineEquivalence(t *testing.T) {
+	mks := []struct {
+		name      string
+		wheel     func() sim.Policy
+		reference func() sim.Policy
+	}{
+		{
+			"Fixed",
+			func() sim.Policy { return baselines.NewFixedKeepAlive(10) },
+			func() sim.Policy { return baselines.NewFixedKeepAliveReference(10) },
+		},
+		{
+			"HybridFunction",
+			func() sim.Policy { return baselines.NewHybridFunction(baselines.DefaultHybridConfig()) },
+			func() sim.Policy {
+				cfg := baselines.DefaultHybridConfig()
+				cfg.MapAgenda = true
+				return baselines.NewHybridFunction(cfg)
+			},
+		},
+		{
+			"HybridApplication",
+			func() sim.Policy { return baselines.NewHybridApplication(baselines.DefaultHybridConfig()) },
+			func() sim.Policy {
+				cfg := baselines.DefaultHybridConfig()
+				cfg.MapAgenda = true
+				return baselines.NewHybridApplication(cfg)
+			},
+		},
+		{
+			"Defuse",
+			func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+			func() sim.Policy {
+				cfg := baselines.DefaultDefuseConfig()
+				cfg.MapAgenda = true
+				return baselines.NewDefuse(cfg)
+			},
+		},
+	}
+	for _, scenario := range []string{"drift", "flashcrowd"} {
+		for seed := int64(1); seed <= 2; seed++ {
+			s := eqvSettings(seed)
+			if err := s.ApplyScenario(scenario); err != nil {
+				t.Fatal(err)
+			}
+			_, train, simTr, err := experiments.BuildWorkload(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := experiments.StreamSource(s, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mk := range mks {
+				label := func(engine string) string {
+					return fmt.Sprintf("%s %s seed %d: %s", mk.name, scenario, seed, engine)
+				}
+				ref, err := sim.Run(scanOnly{mk.reference()}, train, simTr, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.TotalColdStarts == 0 || ref.TotalWMT == 0 {
+					t.Fatalf("%s: degenerate workload: %+v", label("reference"), ref)
+				}
+				cases := []struct {
+					engine string
+					policy sim.Policy
+					opts   sim.Options
+				}{
+					{"map-agenda + delta accounting", mk.reference(), sim.Options{}},
+					{"wheel + scan accounting", scanOnly{mk.wheel()}, sim.Options{}},
+					{"wheel + delta accounting", mk.wheel(), sim.Options{}},
+					{"wheel sharded x3", mk.wheel(), sim.Options{Shards: 3}},
+					{"wheel streamed x2", mk.wheel(), sim.Options{Source: src}},
+				}
+				for _, c := range cases {
+					got, err := sim.Run(c.policy, train, simTr, c.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, label(c.engine), ref, got)
+				}
+			}
+		}
+	}
+}
+
 // TestRunAllParallelMatchesSequential pins RunAll's concurrent execution to
 // the per-policy sequential results, in input order.
 func TestRunAllParallelMatchesSequential(t *testing.T) {

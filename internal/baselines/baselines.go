@@ -24,6 +24,14 @@ func newLoadedSet(n int) *loadedSet {
 	return &loadedSet{loaded: make([]bool, n)}
 }
 
+// grow extends the tracked function space to at least n entries, for
+// policies that discover their population lazily (no Train).
+func (l *loadedSet) grow(n int) {
+	for len(l.loaded) < n {
+		l.loaded = append(l.loaded, false)
+	}
+}
+
 func (l *loadedSet) has(f trace.FuncID) bool { return l.loaded[f] }
 
 func (l *loadedSet) add(f trace.FuncID) {
@@ -57,6 +65,13 @@ func (l *loadedSet) takeDeltas() ([]trace.FuncID, bool) {
 // agenda schedules per-slot callbacks keyed by an owner id and a sequence
 // number, letting policies cancel stale actions cheaply: an action fires
 // only if the owner's sequence still matches the one it was scheduled with.
+//
+// This map-backed implementation is the retained REFERENCE engine: the
+// deadline-based baselines run on a sched.Agenda timing wheel by default
+// (same firing semantics, recycled bucket storage instead of per-slot map
+// churn) and keep this one behind their MapAgenda config switches so the
+// equivalence suite can assert the wheel engine bit-identical, mirroring
+// core.Config.DenseScan.
 type agenda struct {
 	bySlot map[int][]agendaItem
 	seq    []uint32 // current sequence per owner
@@ -70,6 +85,13 @@ type agendaItem struct {
 
 func newAgenda(owners int) *agenda {
 	return &agenda{bySlot: make(map[int][]agendaItem), seq: make([]uint32, owners)}
+}
+
+// grow extends the owner space to at least owners entries.
+func (a *agenda) grow(owners int) {
+	for len(a.seq) < owners {
+		a.seq = append(a.seq, 0)
+	}
 }
 
 // bump invalidates all outstanding actions of an owner.

@@ -1,10 +1,10 @@
 package baselines
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/classify"
-	"repro/internal/stats"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -24,6 +24,11 @@ type DefuseConfig struct {
 	Hist         HybridConfig // per-function histogram keep-alive settings
 	FallbackKeep int          // fixed keep-alive fallback (10 min)
 	PrewarmHold  int32        // how long a dependency pre-load stays resident
+
+	// MapAgenda selects the retained map-backed agenda instead of the
+	// timing wheel — the reference engine for the equivalence suite,
+	// mirroring core.Config.DenseScan. Results are bit-identical either way.
+	MapAgenda bool
 }
 
 // DefaultDefuseConfig returns settings following the original paper.
@@ -46,13 +51,26 @@ func DefaultDefuseConfig() DefuseConfig {
 	}
 }
 
+// spanSlots bounds how far ahead Defuse ever schedules: the histogram span
+// plus the dependency windows.
+func (cfg DefuseConfig) spanSlots() int {
+	span := cfg.Hist.spanSlots()
+	for _, s := range []int{cfg.FallbackKeep + 2, int(cfg.PrewarmHold) + 2, int(cfg.MaxLag) + 2} {
+		if s > span {
+			span = s
+		}
+	}
+	return span
+}
+
 // Defuse implements sim.Policy.
 type Defuse struct {
 	cfg DefuseConfig
 
-	set    *loadedSet
-	agenda *agenda
-	last   []int
+	set   *loadedSet
+	wheel *sched.Agenda // event engine (default)
+	ref   *agenda       // reference engine (cfg.MapAgenda)
+	last  []int
 
 	units []hybridUnit // per-function histograms (function granularity)
 
@@ -71,7 +89,11 @@ func (p *Defuse) Name() string { return "Defuse" }
 func (p *Defuse) Train(training *trace.Trace) {
 	n := training.NumFunctions()
 	p.set = newLoadedSet(n)
-	p.agenda = newAgenda(n)
+	if p.cfg.MapAgenda {
+		p.ref = newAgenda(n)
+	} else {
+		p.wheel = sched.NewAgenda(n, p.cfg.spanSlots())
+	}
 	p.last = make([]int, n)
 	p.hasDeps = make([]bool, n)
 	p.successors = make(map[trace.FuncID][]trace.FuncID)
@@ -79,18 +101,19 @@ func (p *Defuse) Train(training *trace.Trace) {
 		p.last[i] = -1
 	}
 
-	// Histograms at function granularity, with end-of-training carryover.
+	// Histograms at function granularity (allocated on first inter-arrival),
+	// with end-of-training carryover.
 	p.units = make([]hybridUnit, n)
 	invoked := make([][]int32, n)
 	for fid := 0; fid < n; fid++ {
-		p.units[fid] = hybridUnit{hist: stats.NewHistogram(0, 1, p.cfg.Hist.RangeMins), last: -1}
+		p.units[fid] = hybridUnit{last: -1}
 		for _, e := range training.Series[fid] {
 			invoked[fid] = append(invoked[fid], e.Slot)
 		}
-		for j := 1; j < len(invoked[fid]); j++ {
-			p.units[fid].hist.Add(float64(invoked[fid][j] - invoked[fid][j-1]))
-		}
 		unit := &p.units[fid]
+		for j := 1; j < len(invoked[fid]); j++ {
+			unit.addIAT(float64(invoked[fid][j]-invoked[fid][j-1]), p.cfg.Hist.RangeMins)
+		}
 		unit.windows(p.cfg.Hist)
 		if len(invoked[fid]) == 0 {
 			continue
@@ -104,7 +127,7 @@ func (p *Defuse) Train(training *trace.Trace) {
 		}
 		if end := rebased + keep; end > 0 {
 			p.set.add(trace.FuncID(fid))
-			p.agenda.schedule(end, fid, actUnload)
+			p.schedule(-1, end, fid, actUnload)
 		}
 	}
 
@@ -136,11 +159,14 @@ func (p *Defuse) Train(training *trace.Trace) {
 					accepted = append(accepted, cand{pred: pred, conf: conf})
 				}
 			}
-			sort.Slice(accepted, func(i, j int) bool {
-				if accepted[i].conf != accepted[j].conf {
-					return accepted[i].conf > accepted[j].conf
+			slices.SortFunc(accepted, func(a, b cand) int {
+				if a.conf != b.conf {
+					if a.conf > b.conf {
+						return -1
+					}
+					return 1
 				}
-				return accepted[i].pred < accepted[j].pred
+				return int(a.pred) - int(b.pred)
 			})
 			if len(accepted) > p.cfg.MaxPredFanout {
 				accepted = accepted[:p.cfg.MaxPredFanout]
@@ -159,15 +185,14 @@ func (p *Defuse) Tick(t int, invs []trace.FuncCount) {
 		f := int(fc.Func)
 		unit := &p.units[f]
 		if unit.last >= 0 {
-			unit.hist.Add(float64(t - unit.last))
-			unit.dirty = true
+			unit.addIAT(float64(t-unit.last), p.cfg.Hist.RangeMins)
 		}
 		unit.last = t
 		if unit.dirty {
 			unit.windows(p.cfg.Hist)
 		}
 		p.last[f] = t
-		p.agenda.bump(f)
+		p.bump(f)
 		p.set.add(fc.Func)
 		// Keep-alive horizon: histogram tail when usable, fallback fixed
 		// keep-alive otherwise. Dependency-covered functions rely on their
@@ -181,7 +206,7 @@ func (p *Defuse) Tick(t int, invs []trace.FuncCount) {
 		if keep < 1 {
 			keep = 1
 		}
-		p.agenda.schedule(t+keep, f, actUnload)
+		p.schedule(t, t+keep, f, actUnload)
 	}
 
 	// Dependency pre-warming: predecessors that fired pre-load successors.
@@ -191,16 +216,51 @@ func (p *Defuse) Tick(t int, invs []trace.FuncCount) {
 				continue
 			}
 			p.set.add(succ)
-			p.agenda.bump(int(succ))
-			p.agenda.schedule(t+int(p.cfg.PrewarmHold), int(succ), actUnload)
+			p.bump(int(succ))
+			p.schedule(t, t+int(p.cfg.PrewarmHold), int(succ), actUnload)
 		}
 	}
 
-	p.agenda.drain(t, func(owner, what int) {
+	p.drainAt(t)
+}
+
+func (p *Defuse) bump(f int) {
+	if p.ref != nil {
+		p.ref.bump(f)
+		return
+	}
+	p.wheel.Bump(f)
+}
+
+func (p *Defuse) schedule(current, slot, f, what int) {
+	if p.ref != nil {
+		p.ref.schedule(slot, f, what)
+		return
+	}
+	p.wheel.Schedule(current, slot, f, what)
+}
+
+func (p *Defuse) drainAt(t int) {
+	apply := func(owner, what int) {
 		if what == actUnload {
 			p.set.remove(trace.FuncID(owner))
 		}
-	})
+	}
+	if p.ref != nil {
+		p.ref.drain(t, apply)
+		return
+	}
+	p.wheel.Drain(t, apply)
+}
+
+// NextWake implements sim.IdleSkipper: the earliest slot in (after, limit]
+// holding a scheduled action, -1 when there is none. The map-backed
+// reference engine reports ok=false so it stays on the per-slot path.
+func (p *Defuse) NextWake(after, limit int) (int, bool) {
+	if p.wheel == nil {
+		return 0, false
+	}
+	return p.wheel.Next(after, limit), true
 }
 
 // Loaded implements sim.Policy.

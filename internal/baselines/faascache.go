@@ -95,6 +95,12 @@ func (p *FaaSCache) Tick(t int, invs []trace.FuncCount) {
 	}
 }
 
+// NextWake implements sim.IdleSkipper. FaaSCache has no timers: state only
+// changes on invocations (an empty Tick cannot evict, because Train and Tick
+// both leave the pool at or under capacity), so an invocation-free span never
+// needs a wake-up.
+func (p *FaaSCache) NextWake(after, limit int) (int, bool) { return -1, true }
+
 // Loaded implements sim.Policy.
 func (p *FaaSCache) Loaded(f trace.FuncID) bool { return p.set.has(f) }
 

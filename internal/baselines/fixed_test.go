@@ -76,6 +76,69 @@ func TestFixedKeepAliveWithoutTrain(t *testing.T) {
 	}
 }
 
+// TestFixedKeepAliveUntrainedGrowth is the regression test for the lazy-init
+// bug: driving FixedKeepAlive without Train used to size its per-function
+// state from the first slot's largest FuncID for good, so a later slot
+// introducing a larger FuncID indexed out of range. Growth is now on demand,
+// on both engines.
+func TestFixedKeepAliveUntrainedGrowth(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		p    *FixedKeepAlive
+	}{
+		{"wheel", NewFixedKeepAlive(3)},
+		{"reference", NewFixedKeepAliveReference(3)},
+	} {
+		p := mk.p
+		p.Tick(0, []trace.FuncCount{{Func: 1, Count: 1}})
+		// Larger FuncID in a later slot: used to panic with index out of range.
+		p.Tick(1, []trace.FuncCount{{Func: 5, Count: 1}})
+		p.Tick(2, nil)
+		p.Tick(3, nil)
+
+		if !p.Loaded(5) {
+			t.Fatalf("%s: f5 should still be within its keep-alive window", mk.name)
+		}
+		if p.Loaded(1) {
+			t.Fatalf("%s: f1 expired at slot 3 and should be unloaded", mk.name)
+		}
+		p.Tick(4, nil)
+		if p.Loaded(5) || p.LoadedCount() != 0 {
+			t.Fatalf("%s: f5 should expire at slot 4, loaded=%d", mk.name, p.LoadedCount())
+		}
+	}
+}
+
+// TestFixedKeepAliveUntrainedMatchesTrained pins on-demand growth to the
+// usual pre-sized behaviour on the same arrival sequence.
+func TestFixedKeepAliveUntrainedMatchesTrained(t *testing.T) {
+	arrivals := [][]trace.FuncCount{
+		{{Func: 0, Count: 1}},
+		{{Func: 7, Count: 2}},
+		nil,
+		{{Func: 3, Count: 1}, {Func: 7, Count: 1}},
+		nil,
+		nil,
+		nil,
+	}
+	grown := NewFixedKeepAlive(2)
+	sized := NewFixedKeepAlive(2)
+	sized.init(8)
+	for t0, invs := range arrivals {
+		grown.Tick(t0, invs)
+		sized.Tick(t0, invs)
+		if grown.LoadedCount() != sized.LoadedCount() {
+			t.Fatalf("slot %d: LoadedCount grown=%d sized=%d",
+				t0, grown.LoadedCount(), sized.LoadedCount())
+		}
+	}
+	for f := trace.FuncID(0); f < 8; f++ {
+		if grown.Loaded(f) != sized.Loaded(f) {
+			t.Fatalf("f%d: grown=%v sized=%v", f, grown.Loaded(f), sized.Loaded(f))
+		}
+	}
+}
+
 func TestFixedKeepAliveReinvocationExtends(t *testing.T) {
 	train, simTr := mkTrace(100, map[int][]int32{0: {0, 2, 4, 6, 8}})
 	p := NewFixedKeepAlive(3)

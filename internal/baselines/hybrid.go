@@ -2,8 +2,9 @@ package baselines
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -20,6 +21,12 @@ type HybridConfig struct {
 	KeepAlivePct    float64 // tail percentile driving the keep-alive window (0.99)
 	Margin          float64 // safety margin: shrink pre-warm, grow keep-alive (0.10)
 	FallbackKeep    int     // keep-alive when the histogram is unusable
+
+	// MapAgenda selects the retained map-backed agenda instead of the
+	// timing wheel — the reference engine the equivalence tests run the
+	// default event engine against (the baseline counterpart of
+	// core.Config.DenseScan). Results are bit-identical either way.
+	MapAgenda bool
 }
 
 // DefaultHybridConfig returns the original paper's settings.
@@ -36,7 +43,22 @@ func DefaultHybridConfig() HybridConfig {
 	}
 }
 
-// hybridUnit is the per-unit (function or application) histogram state.
+// spanSlots bounds how far ahead the policy ever schedules: the margin-grown
+// histogram tail plus slack, or the fallback keep-alive, whichever is
+// larger. Deadlines beyond it (impossible under this config, but harmless)
+// land in the wheel's overflow map.
+func (cfg HybridConfig) spanSlots() int {
+	span := int(float64(cfg.RangeMins)*(1+cfg.Margin)) + 2
+	if cfg.FallbackKeep+2 > span {
+		span = cfg.FallbackKeep + 2
+	}
+	return span
+}
+
+// hybridUnit is the per-unit (function or application) histogram state. The
+// histogram is allocated on the first observed inter-arrival time: at large
+// scale most functions never accumulate one, and a nil histogram just means
+// "insufficient pattern" — exactly the fallback an empty histogram selects.
 type hybridUnit struct {
 	hist *stats.Histogram
 	last int // last invocation slot, -1 when never
@@ -48,12 +70,22 @@ type hybridUnit struct {
 	dirty     bool
 }
 
+// addIAT charges one inter-arrival observation, allocating the histogram
+// lazily.
+func (u *hybridUnit) addIAT(iat float64, rangeMins int) {
+	if u.hist == nil {
+		u.hist = stats.NewHistogram(0, 1, rangeMins)
+	}
+	u.hist.Add(iat)
+	u.dirty = true
+}
+
 // windows derives (prewarm, keepalive) from the unit's histogram per the
 // head/tail rule, or flags the unit unusable for the fallback.
 func (u *hybridUnit) windows(cfg HybridConfig) {
 	u.dirty = false
 	u.usable = false
-	if u.hist.TotalWithOOB() < cfg.MinObservations {
+	if u.hist == nil || u.hist.TotalWithOOB() < cfg.MinObservations {
 		return
 	}
 	if u.hist.OOBFraction() > cfg.OOBMax {
@@ -88,8 +120,15 @@ type Hybrid struct {
 	unitOf []int   // function -> unit index
 	fanout [][]int // unit -> functions (identity at function granularity)
 	set    *loadedSet
-	agenda *agenda
+	wheel  *sched.Agenda // event engine (default)
+	ref    *agenda       // reference engine (cfg.MapAgenda)
 	nFuncs int
+
+	// seenEpoch dedups unit arrivals within a slot: stamped entries match
+	// epoch, which increments every Tick — the alloc-free replacement for a
+	// per-Tick map.
+	seenEpoch []uint32
+	epoch     uint32
 }
 
 const (
@@ -156,12 +195,14 @@ func (p *Hybrid) Train(training *trace.Trace) {
 
 	p.units = make([]hybridUnit, len(p.fanout))
 	for i := range p.units {
-		p.units[i] = hybridUnit{
-			hist: stats.NewHistogram(0, 1, p.cfg.RangeMins),
-			last: -1,
-		}
+		p.units[i] = hybridUnit{last: -1}
 	}
-	p.agenda = newAgenda(len(p.units))
+	p.seenEpoch = make([]uint32, len(p.units))
+	if p.cfg.MapAgenda {
+		p.ref = newAgenda(len(p.units))
+	} else {
+		p.wheel = sched.NewAgenda(len(p.units), p.cfg.spanSlots())
+	}
 
 	// Feed training IATs at unit granularity, then carry end-of-training
 	// state into the simulation: the unit behaves as if the policy had been
@@ -175,10 +216,10 @@ func (p *Hybrid) Train(training *trace.Trace) {
 			}
 		}
 		slots = dedupSortInt32(slots)
-		for j := 1; j < len(slots); j++ {
-			p.units[i].hist.Add(float64(slots[j] - slots[j-1]))
-		}
 		unit := &p.units[i]
+		for j := 1; j < len(slots); j++ {
+			unit.addIAT(float64(slots[j]-slots[j-1]), p.cfg.RangeMins)
+		}
 		unit.windows(p.cfg)
 		if len(slots) == 0 {
 			continue
@@ -202,9 +243,9 @@ func (p *Hybrid) seedWindows(u, rebased int) {
 		if start <= 0 {
 			p.loadUnit(u)
 		} else {
-			p.agenda.schedule(start, u, actPrewarm)
+			p.schedule(-1, start, u, actPrewarm)
 		}
-		p.agenda.schedule(end, u, actUnload)
+		p.schedule(-1, end, u, actUnload)
 		return
 	}
 	keep := p.cfg.FallbackKeep
@@ -213,53 +254,87 @@ func (p *Hybrid) seedWindows(u, rebased int) {
 	}
 	if end := rebased + keep; end > 0 {
 		p.loadUnit(u)
-		p.agenda.schedule(end, u, actUnload)
+		p.schedule(-1, end, u, actUnload)
 	}
 }
 
 // Tick implements sim.Policy.
 func (p *Hybrid) Tick(t int, invs []trace.FuncCount) {
-	// Unit-level arrivals (deduplicated per slot).
-	seen := make(map[int]bool)
+	// Unit-level arrivals (deduplicated per slot via the epoch stamps).
+	p.epoch++
 	for _, fc := range invs {
 		u := p.unitOf[fc.Func]
-		if seen[u] {
+		if p.seenEpoch[u] == p.epoch {
 			continue
 		}
-		seen[u] = true
+		p.seenEpoch[u] = p.epoch
 		unit := &p.units[u]
 		if unit.last >= 0 {
-			unit.hist.Add(float64(t - unit.last))
-			unit.dirty = true
+			unit.addIAT(float64(t-unit.last), p.cfg.RangeMins)
 		}
 		unit.last = t
 		if unit.dirty {
 			unit.windows(p.cfg)
 		}
-		p.agenda.bump(u)
+		p.bump(u)
 		p.loadUnit(u)
 		if unit.usable && unit.prewarm > 1 {
 			// Unload after execution, pre-warm shortly before the predicted
 			// next arrival, give up at the keep-alive horizon.
-			p.agenda.schedule(t+1, u, actUnload)
-			p.agenda.schedule(t+unit.prewarm, u, actPrewarm)
-			p.agenda.schedule(t+unit.prewarm+unit.keepalive, u, actUnload)
+			p.schedule(t, t+1, u, actUnload)
+			p.schedule(t, t+unit.prewarm, u, actPrewarm)
+			p.schedule(t, t+unit.prewarm+unit.keepalive, u, actUnload)
 		} else if unit.usable {
 			// Degenerate head: plain keep-alive of the tail window.
-			p.agenda.schedule(t+unit.keepalive, u, actUnload)
+			p.schedule(t, t+unit.keepalive, u, actUnload)
 		} else {
-			p.agenda.schedule(t+p.cfg.FallbackKeep, u, actUnload)
+			p.schedule(t, t+p.cfg.FallbackKeep, u, actUnload)
 		}
 	}
 
-	p.agenda.drain(t, func(owner, what int) {
+	p.drainAt(t)
+}
+
+func (p *Hybrid) bump(u int) {
+	if p.ref != nil {
+		p.ref.bump(u)
+		return
+	}
+	p.wheel.Bump(u)
+}
+
+func (p *Hybrid) schedule(current, slot, u, what int) {
+	if p.ref != nil {
+		p.ref.schedule(slot, u, what)
+		return
+	}
+	p.wheel.Schedule(current, slot, u, what)
+}
+
+func (p *Hybrid) drainAt(t int) {
+	apply := func(owner, what int) {
 		switch what {
 		case actUnload:
 			p.unloadUnit(owner)
 		case actPrewarm:
 			p.loadUnit(owner)
 		}
-	})
+	}
+	if p.ref != nil {
+		p.ref.drain(t, apply)
+		return
+	}
+	p.wheel.Drain(t, apply)
+}
+
+// NextWake implements sim.IdleSkipper: the earliest slot in (after, limit]
+// holding a scheduled action, -1 when there is none. The map-backed
+// reference engine reports ok=false so it stays on the per-slot path.
+func (p *Hybrid) NextWake(after, limit int) (int, bool) {
+	if p.wheel == nil {
+		return 0, false
+	}
+	return p.wheel.Next(after, limit), true
 }
 
 func (p *Hybrid) loadUnit(u int) {
@@ -284,7 +359,7 @@ func dedupSortInt32(xs []int32) []int32 {
 	if len(xs) < 2 {
 		return xs
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	out := xs[:1]
 	for _, v := range xs[1:] {
 		if v != out[len(out)-1] {

@@ -2,7 +2,7 @@ package baselines
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/trace"
 )
@@ -57,7 +57,12 @@ func (p *LCS) Train(training *trace.Trace) {
 			seen = append(seen, recency{fid: fid, last: int(last) - training.Slots})
 		}
 	}
-	sort.Slice(seen, func(i, j int) bool { return seen[i].last < seen[j].last })
+	slices.SortFunc(seen, func(a, b recency) int {
+		if a.last != b.last {
+			return a.last - b.last
+		}
+		return a.fid - b.fid // deterministic LRU order for same-slot ties
+	})
 	for _, r := range seen {
 		p.last[r.fid] = r.last
 		p.set.add(trace.FuncID(r.fid))
@@ -111,6 +116,12 @@ func (p *LCS) Tick(t int, invs []trace.FuncCount) {
 		p.set.remove(trace.FuncID(victim))
 	}
 }
+
+// NextWake implements sim.IdleSkipper. LCS has no timers: the warm pool only
+// changes on invocations (an empty Tick cannot recycle, because Train and
+// Tick both leave the pool at or under capacity), so an invocation-free span
+// never needs a wake-up.
+func (p *LCS) NextWake(after, limit int) (int, bool) { return -1, true }
 
 // Loaded implements sim.Policy.
 func (p *LCS) Loaded(f trace.FuncID) bool { return p.set.has(f) }

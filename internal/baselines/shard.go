@@ -13,7 +13,11 @@ import "repro/internal/sim"
 // differently than one global instance.
 
 // NewShard implements sim.ShardedPolicy.
-func (p *FixedKeepAlive) NewShard() sim.Policy { return NewFixedKeepAlive(p.keepAlive) }
+func (p *FixedKeepAlive) NewShard() sim.Policy {
+	s := NewFixedKeepAlive(p.keepAlive)
+	s.mapAgenda = p.mapAgenda
+	return s
+}
 
 // NewShard implements sim.ShardedPolicy.
 func (p *Hybrid) NewShard() sim.Policy {
@@ -32,8 +36,15 @@ func (p *Defuse) NewShard() sim.Policy { return NewDefuse(p.cfg) }
 // complete behaviour-affecting configuration via sim.HashConfig, so adding
 // a config field invalidates old cache entries automatically.
 
-// ConfigHash implements sim.ConfigHasher.
-func (p *FixedKeepAlive) ConfigHash() uint64 { return sim.HashConfig(p.keepAlive) }
+// ConfigHash implements sim.ConfigHasher. The engine choice is part of the
+// hash even though both engines produce bit-identical results: cache entries
+// should never silently vouch for an engine that did not produce them.
+func (p *FixedKeepAlive) ConfigHash() uint64 {
+	return sim.HashConfig(struct {
+		KeepAlive int
+		MapAgenda bool
+	}{p.keepAlive, p.mapAgenda})
+}
 
 // ConfigHash implements sim.ConfigHasher. appWise is part of the hash even
 // though HF and HA also differ by Name(): the key must stay correct if the

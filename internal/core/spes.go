@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/classify"
 	"repro/internal/predict"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -83,7 +84,7 @@ type SPES struct {
 	// wheel holds every idle function's next actionable deadline (eviction,
 	// pre-load expiry, predicted pre-warm). nil when cfg.DenseScan selects
 	// the per-slot reference loop.
-	wheel *wheel
+	wheel *sched.Wheel
 
 	// deltas logs the FuncIDs whose loaded state flipped since the last
 	// TakeLoadDeltas, feeding the simulator's incremental accounting.
@@ -205,7 +206,7 @@ func (s *SPES) Train(training *trace.Trace) {
 	}
 
 	if !s.cfg.DenseScan {
-		s.wheel = newWheel(wheelSpan)
+		s.wheel = sched.NewWheel(wheelSpan)
 		s.lastTick = -1
 		for fid := range s.states {
 			s.ensureWake(trace.FuncID(fid), -1)
@@ -303,12 +304,15 @@ func (s *SPES) Tick(t int, invs []trace.FuncCount) {
 		return
 	}
 
-	// Callers are contracted to advance t by exactly 1, but tolerate gaps
-	// (ad-hoc unit drivers) by draining the skipped slots' deadlines in
-	// order, so evictions land on their scheduled slot rather than waiting
-	// for the next call.
-	for u := s.lastTick + 1; u < t; u++ {
-		s.drainSlot(u)
+	// Callers may advance t with gaps — the simulator's batch-advance skips
+	// slots with no invocations and no deadlines, and ad-hoc unit drivers do
+	// as they please — so drain the skipped slots' deadlines in order first.
+	// NextOccupied jumps straight between occupied slots, so a skip over k
+	// empty slots costs one capped ring scan instead of k bucket drains.
+	if t > s.lastTick+1 {
+		for u := s.wheel.NextOccupied(s.lastTick, t-1); u >= 0; u = s.wheel.NextOccupied(u, t-1) {
+			s.drainSlot(u)
+		}
 	}
 	s.lastTick = t
 
@@ -398,14 +402,25 @@ func (s *SPES) tickDense(t int, invs []trace.FuncCount) {
 
 // drainSlot fires the still-valid deadlines scheduled at slot t.
 func (s *SPES) drainSlot(t int) {
-	s.wheel.drain(t, func(ev wheelEvent) {
-		fid := trace.FuncID(ev.fid)
-		if s.seq[fid] != ev.seq {
+	s.wheel.Drain(t, func(ev sched.Event) {
+		fid := trace.FuncID(ev.Owner)
+		if s.seq[fid] != ev.Seq {
 			return // abandoned: the deadline moved earlier and was rescheduled
 		}
 		s.eventSlot[fid] = -1
 		s.idleStep(fid, t)
 	})
+}
+
+// NextWake implements sim.IdleSkipper: the earliest slot in (after, limit]
+// holding a scheduled deadline, -1 when there is none. The dense reference
+// engine reports ok=false, keeping it on the per-slot path the equivalence
+// tests compare against.
+func (s *SPES) NextWake(after, limit int) (int, bool) {
+	if s.wheel == nil {
+		return 0, false
+	}
+	return s.wheel.NextOccupied(after, limit), true
 }
 
 // idleStep evaluates the dense loop's per-slot idle branch (lines 13-20) for
@@ -542,7 +557,7 @@ func (s *SPES) scheduleWake(fid trace.FuncID, t, next int) {
 		s.seq[fid]++
 	}
 	s.eventSlot[fid] = int32(next)
-	s.wheel.schedule(t, next, wheelEvent{fid: int32(fid), seq: s.seq[fid]})
+	s.wheel.Schedule(t, next, sched.Event{Owner: int32(fid), Slot: int32(next), Seq: s.seq[fid]})
 }
 
 // The deadline invariants ensureWake and idleStep rely on:

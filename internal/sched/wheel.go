@@ -1,0 +1,152 @@
+// Package sched provides the slot-granularity timing wheel the event-driven
+// schedulers share: SPES's provision core and every deadline-based baseline
+// (fixed keep-alive, Hybrid, Defuse) schedule their wake-ups through it.
+// Scheduling and draining are O(1) amortized per event and bucket storage is
+// recycled across slots, so a policy's per-slot cost tracks its number of
+// state transitions rather than its function count.
+package sched
+
+// Event is one scheduled wake-up. Owner identifies whose deadline fires
+// (a FuncID or a policy-level unit index); Slot is the absolute slot the
+// event was scheduled for; Seq implements lazy invalidation — schedulers
+// compare it against the owner's current generation counter and treat a
+// mismatch as an abandoned deadline; What is a scheduler-defined action tag.
+type Event struct {
+	Owner int32
+	Slot  int32
+	Seq   uint32
+	What  uint8
+}
+
+// Wheel is a power-of-two ring of buckets indexed by slot, with an overflow
+// map for deadlines beyond the ring's horizon. Buckets keep their backing
+// arrays when drained, so steady-state scheduling allocates nothing.
+type Wheel struct {
+	ring     [][]Event
+	mask     int
+	ringLive int // events currently held in ring buckets
+	overflow map[int][]Event
+
+	// ovMin caches the smallest overflow key so NextOccupied does not walk
+	// the map; it is recomputed lazily after the cached minimum drains.
+	ovMin      int
+	ovMinStale bool
+}
+
+// NewWheel creates a wheel whose ring spans at least span slots (rounded up
+// to a power of two).
+func NewWheel(span int) *Wheel {
+	size := 1
+	for size < span {
+		size <<= 1
+	}
+	return &Wheel{
+		ring:     make([][]Event, size),
+		mask:     size - 1,
+		overflow: make(map[int][]Event),
+	}
+}
+
+// Schedule enqueues ev to fire at slot. current is the wheel's current slot
+// (the slot most recently drained, or -1 before the simulation starts); slot
+// must be strictly greater than current.
+func (w *Wheel) Schedule(current, slot int, ev Event) {
+	if slot-current <= w.mask {
+		idx := slot & w.mask
+		w.ring[idx] = append(w.ring[idx], ev)
+		w.ringLive++
+		return
+	}
+	if len(w.overflow) == 0 {
+		w.ovMin, w.ovMinStale = slot, false
+	} else if !w.ovMinStale && slot < w.ovMin {
+		w.ovMin = slot
+	}
+	w.overflow[slot] = append(w.overflow[slot], ev)
+}
+
+// Drain invokes fn for every event scheduled at slot and recycles the
+// bucket's storage. Events scheduled by fn land at later slots and are not
+// observed by this drain: the bucket is detached before iteration, and a
+// same-index slot is exactly one ring revolution away — past the horizon —
+// so it lands in the overflow map, never in the detached bucket.
+//
+// Drain matches events by their absolute slot, so it stays correct under
+// non-monotonic drivers (benchmarks wrapping time): an event from the next
+// revolution sharing the bucket is kept for its own slot, while an event
+// whose slot was skipped entirely — or left more than one revolution ahead
+// by a time wrap, where its exact-slot drain can never come — is dropped.
+// That is the same "missed deadlines never fire" behaviour a map keyed by
+// exact slot exhibits, without the leak or the cost of re-compacting
+// unreachable events every visit. (Under monotonic draining a kept event is
+// always exactly one revolution ahead: ring placement bounds its distance
+// from the schedule-time current slot by the mask.)
+func (w *Wheel) Drain(slot int, fn func(Event)) {
+	idx := slot & w.mask
+	if items := w.ring[idx]; len(items) > 0 {
+		w.ring[idx] = items[:0]
+		kept := 0
+		for i := range items {
+			ev := items[i]
+			if d := int(ev.Slot) - slot; d > 0 && d <= w.mask+1 {
+				items[kept] = ev
+				kept++
+				continue
+			}
+			w.ringLive--
+			if int(ev.Slot) == slot {
+				fn(ev)
+			}
+		}
+		w.ring[idx] = items[:kept]
+	}
+	if items, ok := w.overflow[slot]; ok {
+		delete(w.overflow, slot)
+		if !w.ovMinStale && slot == w.ovMin {
+			w.ovMinStale = true
+		}
+		for _, ev := range items {
+			fn(ev)
+		}
+	}
+}
+
+// NextOccupied returns the earliest slot in (after, limit] holding at least
+// one event, or -1 when there is none. It lets callers fast-forward across
+// empty slots: the ring is only scanned up to its horizon (a live ring event
+// at slot s always satisfies s-after <= mask under monotonic draining, so
+// the capped scan cannot miss one), and the overflow side costs one cached
+// minimum. The returned slot may hold only abandoned (stale-seq) events;
+// draining it is then a no-op, which is harmless.
+func (w *Wheel) NextOccupied(after, limit int) int {
+	best := -1
+	if w.ringLive > 0 {
+		hi := after + w.mask
+		if hi > limit {
+			hi = limit
+		}
+		for s := after + 1; s <= hi; s++ {
+			if len(w.ring[s&w.mask]) > 0 {
+				best = s
+				break
+			}
+		}
+	}
+	if len(w.overflow) > 0 {
+		if w.ovMinStale {
+			m := 0
+			first := true
+			for s := range w.overflow {
+				if first || s < m {
+					m = s
+					first = false
+				}
+			}
+			w.ovMin, w.ovMinStale = m, false
+		}
+		if m := w.ovMin; m > after && m <= limit && (best < 0 || m < best) {
+			best = m
+		}
+	}
+	return best
+}

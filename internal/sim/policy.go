@@ -26,7 +26,10 @@ import "repro/internal/trace"
 //     that was NOT invoked at t adds one minute of wasted memory time.
 //
 // Implementations must treat Tick as their only clock source; t increases
-// by exactly 1 between calls, starting at 0.
+// monotonically between calls, starting at 0, and by exactly 1 unless the
+// policy implements IdleSkipper: the simulator only ever skips a slot it
+// proved empty — no invocations arrived and the policy reported no pending
+// wake-up — so a skipped Tick(u, nil) would have been a no-op.
 type Policy interface {
 	// Name identifies the policy in reports ("SPES", "Defuse", ...).
 	Name() string
@@ -66,6 +69,29 @@ type Policy interface {
 // need to log.
 type LoadDeltaTracker interface {
 	TakeLoadDeltas() ([]trace.FuncID, bool)
+}
+
+// IdleSkipper is implemented by policies whose empty Ticks are provably
+// no-ops, which lets the simulator batch-advance across invocation-free
+// spans instead of ticking slot by slot.
+//
+// The contract:
+//   - NextWake(after, limit) returns the earliest slot in (after, limit]
+//     at which the policy has any pending action (a timer that may fire, an
+//     eviction deadline), or -1 when it has none in that window. False
+//     positives (a slot that turns out to be a no-op, e.g. an already-
+//     cancelled timer) are allowed — they only cost a regular Tick. False
+//     negatives are NOT: a missed wake-up would change the loaded set
+//     without the simulator noticing.
+//   - ok=false means the policy cannot answer for this configuration (e.g.
+//     it is running its map-backed reference engine); the simulator stays on
+//     the slot-by-slot path.
+//   - The simulator calls NextWake only after Tick(after, ...) has run, and
+//     guarantees every slot in (after, wake) it skips had no invocations.
+//     For each skipped slot the policy's loaded set is charged for memory
+//     exactly as if Tick had run and changed nothing.
+type IdleSkipper interface {
+	NextWake(after, limit int) (int, bool)
 }
 
 // Retrainer is implemented by policies (SPES) that support periodic online

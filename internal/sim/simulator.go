@@ -304,6 +304,19 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 		invokedAt = make([]bool, n)
 	}
 
+	// Batch-advance: when the policy can prove its empty Ticks are no-ops
+	// (IdleSkipper) and accounting runs in delta mode, invocation-free spans
+	// with no pending policy wake-up are charged in one step instead of
+	// ticked slot by slot. Disabled under MeasureOverhead so the overhead
+	// metric keeps counting every Tick it always counted, and in dense mode,
+	// which must scan every slot anyway.
+	var skipper IdleSkipper
+	if tracker != nil && !opts.MeasureOverhead {
+		if s, ok := policy.(IdleSkipper); ok {
+			skipper = s
+		}
+	}
+
 	// Online re-categorization: at retrain boundaries the policy sees a
 	// sliding window of the history observed so far. The call lands before
 	// phase 1, and the Retrainer contract forbids it from touching the
@@ -434,6 +447,53 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 
 		if opts.Progress != nil && opts.ProgressEvery > 0 && t%opts.ProgressEvery == 0 {
 			opts.Progress(t)
+		}
+
+		// Batch-advance over the invocation-free span following t. Each
+		// skipped slot is accounted exactly as a changing-nothing Tick would
+		// be: loadedCount memory units, all idle (active is 0 by
+		// construction), EMCR term 0/loadedCount. Per-function idle minutes
+		// need no work here — delta mode charges whole residency intervals at
+		// unload time, and skipped slots just extend them.
+		if skipper != nil {
+			limit := simTrace.Slots - 1
+			if retrainer != nil {
+				// Never skip across a retrain boundary: the boundary slot
+				// must run its Retrain call even if empty.
+				if b := (t/opts.RetrainEvery+1)*opts.RetrainEvery - 1; b < limit {
+					limit = b
+				}
+			}
+			end := t + 1
+			for end <= limit && len(idx.Invocations[end]) == 0 {
+				end++
+			}
+			end-- // last invocation-free slot in the window
+			if end > t {
+				wake, ok := skipper.NextWake(t, end)
+				if !ok {
+					continue
+				}
+				if wake >= 0 {
+					end = wake - 1 // tick the wake-up slot normally
+				}
+				if end > t {
+					span := int64(end - t)
+					lc := int64(loadedCount)
+					res.TotalMemory += span * lc
+					res.TotalWMT += span * lc
+					if loadedCount > 0 {
+						res.EMCRSlots += span
+					}
+					if log != nil {
+						for u := t; u < end; u++ {
+							log.loaded = append(log.loaded, int32(loadedCount))
+							log.active = append(log.active, 0)
+						}
+					}
+					t = end
+				}
+			}
 		}
 	}
 
