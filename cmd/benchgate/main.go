@@ -13,7 +13,10 @@
 //   - per-Tick benchmark bytes/op and allocs/op, by benchmark name;
 //   - scale-sweep full-simulation wall time, by (functions, shards, mode,
 //     scenario);
-//   - scale-sweep heap_peak_bytes, same key.
+//   - scale-sweep heap_peak_bytes, same key;
+//   - serving-benchmark decision latency and events/sec, by (functions,
+//     scenario, mode) — always warn-only: HTTP round-trip latency on a
+//     shared runner is noise on noise, so it informs but never gates.
 //
 // Tolerances are deliberately generous — CI runners are shared and differ
 // from the machine that produced the baseline. Time violations (default
@@ -56,10 +59,22 @@ type sweepPoint struct {
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
 }
 
+type serveResult struct {
+	Functions    int     `json:"functions"`
+	Scenario     string  `json:"scenario"`
+	Mode         string  `json:"mode"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	ShedQueue    int64   `json:"shed_queue"`
+	ShedDecision int64   `json:"shed_decision"`
+}
+
 type snapshot struct {
-	Generated  string       `json:"generated"`
-	Benchmarks []benchmark  `json:"benchmarks"`
-	Sweep      []sweepPoint `json:"scale_sweep"`
+	Generated  string        `json:"generated"`
+	Benchmarks []benchmark   `json:"benchmarks"`
+	Sweep      []sweepPoint  `json:"scale_sweep"`
+	Serve      []serveResult `json:"serve"`
 }
 
 func main() {
@@ -218,6 +233,43 @@ func run() error {
 		}
 	}
 
+	// Serving benchmark by (functions, scenario, mode). Always warn-only:
+	// HTTP round-trip latency on a shared runner is scheduler noise stacked
+	// on network-stack noise, so it never gates — but a collapse still shows
+	// up in the log, and the section keeps the serving numbers in the
+	// trajectory next to the simulation ones.
+	type serveKey struct {
+		functions      int
+		scenario, mode string
+	}
+	baseServe := make(map[serveKey]serveResult, len(base.Serve))
+	for _, r := range base.Serve {
+		baseServe[serveKey{r.Functions, r.Scenario, r.Mode}] = r
+	}
+	serveCompared := 0
+	for _, c := range cur.Serve {
+		b, ok := baseServe[serveKey{c.Functions, c.Scenario, c.Mode}]
+		if !ok {
+			continue
+		}
+		serveCompared++
+		label := fmt.Sprintf("serve n=%d %s %s", c.Functions, c.Scenario, c.Mode)
+		if b.LatencyP50MS > 0 && c.LatencyP50MS > b.LatencyP50MS*(*timeTol) {
+			report(false, "%s: p50 %.3fms vs %.3fms baseline (%.2fx > %.2fx)",
+				label, c.LatencyP50MS, b.LatencyP50MS, c.LatencyP50MS/b.LatencyP50MS, *timeTol)
+		} else if b.LatencyP99MS > 0 && c.LatencyP99MS > b.LatencyP99MS*(*timeTol) {
+			report(false, "%s: p99 %.3fms vs %.3fms baseline (%.2fx > %.2fx)",
+				label, c.LatencyP99MS, b.LatencyP99MS, c.LatencyP99MS/b.LatencyP99MS, *timeTol)
+		} else if b.EventsPerSec > 0 && c.EventsPerSec < b.EventsPerSec/(*timeTol) {
+			report(false, "%s: %.0f events/sec vs %.0f baseline (%.2fx slower than %.2fx allows)",
+				label, c.EventsPerSec, b.EventsPerSec, b.EventsPerSec/c.EventsPerSec, *timeTol)
+		} else {
+			fmt.Printf("ok    %s: p50 %.3fms p99 %.3fms %.0f events/sec (baseline %.3f/%.3f/%.0f)\n",
+				label, c.LatencyP50MS, c.LatencyP99MS, c.EventsPerSec,
+				b.LatencyP50MS, b.LatencyP99MS, b.EventsPerSec)
+		}
+	}
+
 	if compared == 0 {
 		// A gate that silently compares nothing would pass forever; an empty
 		// intersection means the pinned CI sweep and the baseline diverged.
@@ -229,7 +281,8 @@ func run() error {
 		// fail the gate, not degrade it to warnings-only.
 		return fmt.Errorf("no heap comparisons between %s and %s — the baseline must keep the pinned sweep shape (see DESIGN.md)", *current, basePath)
 	}
-	fmt.Printf("benchgate: %d comparisons, %d warnings, %d failures\n", compared, warnings, failures)
+	fmt.Printf("benchgate: %d comparisons (+%d serve, warn-only), %d warnings, %d failures\n",
+		compared, serveCompared, warnings, failures)
 	if failures > 0 {
 		return fmt.Errorf("%d regression(s) beyond tolerance", failures)
 	}

@@ -24,6 +24,14 @@
 // cache over the same directory, recording what a sweep costs a restarted
 // process (every shard outcome must restore from disk).
 //
+// -serve runs the serving-mode benchmark: an in-process spes-serve daemon
+// (internal/serve, journal + snapshots in a temp dir) ingests a flash-crowd
+// replay over real HTTP, once nominally and once with the decision deadline
+// forced to ~0 so every decision sheds to the fixed-keepalive fallback. It
+// records decision-latency percentiles, events/sec, and the shed counters,
+// and fails unless both passes land on the same policy state hash — the
+// "sheds decisions, never state" invariant measured rather than assumed.
+//
 //	go run ./cmd/benchjson -out BENCH_4.json -sweep 600,10000,100000 \
 //	    -sweepShards 1,16 -cacheSweep 600,10000 -cacheShards 8 \
 //	    -cacheDir /tmp/shardcache
@@ -37,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -54,7 +64,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
 	"repro/internal/memwatch"
+	"repro/internal/retry"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -79,6 +92,7 @@ type Snapshot struct {
 	Benchmarks []Benchmark        `json:"benchmarks"`
 	Sweep      []SweepPoint       `json:"scale_sweep,omitempty"`
 	CacheSweep []CacheSweepResult `json:"sweep_cache,omitempty"`
+	Serve      []ServeResult      `json:"serve,omitempty"`
 }
 
 // SweepPoint is one full-simulation measurement of the scale sweep: SPES
@@ -155,6 +169,143 @@ type CacheSweepResult struct {
 	// under (0 / absent: clean run).
 	FaultSeed      int64 `json:"fault_seed,omitempty"`
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
+}
+
+// ServeResult is one serving-mode measurement: an in-process spes-serve
+// daemon (internal/serve, write-ahead journal + checksummed snapshots in a
+// temp dir) ingesting a flash-crowd trace replay over real HTTP, one batch
+// request per few occupied slots, unpaced — the client sends as fast as the
+// daemon acknowledges, so the burst slots arrive back to back. Latency
+// percentiles are per-request decision latency as the client experiences it
+// (including retries); shed counters come from the daemon's own metrics.
+// Mode "nominal" runs the default deadlines; mode "overload" forces the
+// decision deadline to ~0 so every decision sheds to the documented
+// fixed-keepalive fallback — its throughput is the shed path's, and its
+// state hash must equal the nominal run's (the daemon sheds decisions,
+// never state; runServeBench fails otherwise).
+type ServeResult struct {
+	Functions int    `json:"functions"`
+	Days      int    `json:"days"`
+	TrainDays int    `json:"train_days"`
+	Seed      int64  `json:"seed"`
+	Scenario  string `json:"scenario"`
+	Mode      string `json:"mode"` // "nominal" | "overload"
+
+	Slots    int64 `json:"slots"`    // occupied slots ingested
+	Batches  int64 `json:"batches"`  // batches acknowledged applied
+	Events   int64 `json:"events"`   // (function, slot) event pairs
+	Requests int64 `json:"requests"` // HTTP requests
+
+	Retries      int64 `json:"retries"`
+	Degraded     int64 `json:"degraded"` // fixed-keepalive fallback replies
+	ShedQueue    int64 `json:"shed_queue"`
+	ShedDecision int64 `json:"shed_decision"`
+	Snapshots    int64 `json:"snapshots"`
+
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyP999MS float64 `json:"latency_p999_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+
+	// StateHash is the daemon's policy state hash after the replay: the two
+	// modes must agree on it, and two benchjson runs of the same workload
+	// must report the same value (sim time is the slot stream, not the wall
+	// clock, so ingest pacing cannot change it).
+	StateHash string `json:"state_hash"`
+}
+
+// runServeBench measures the serving daemon end to end: nominal, then under
+// forced decision-shedding, over the same 300-function flash-crowd window.
+func runServeBench(seed int64) ([]ServeResult, error) {
+	s := experiments.Settings{Functions: 300, Days: 3, TrainDays: 2, Seed: seed, SPES: core.DefaultConfig()}
+	if err := s.ApplyScenario("flashcrowd"); err != nil {
+		return nil, err
+	}
+	_, train, simTr, err := experiments.BuildWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ServeResult
+	for _, mode := range []string{"nominal", "overload"} {
+		fmt.Fprintf(os.Stderr, "benchjson: serve %s (n=%d, flashcrowd)...\n", mode, s.Functions)
+		r, err := runServePass(mode, s, train, simTr)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s: %w", mode, err)
+		}
+		out = append(out, r)
+	}
+	if out[0].StateHash != out[1].StateHash {
+		return nil, fmt.Errorf("serve: overload state %s != nominal %s — shedding touched policy state",
+			out[1].StateHash, out[0].StateHash)
+	}
+	return out, nil
+}
+
+func runServePass(mode string, s experiments.Settings, train, simTr *trace.Trace) (ServeResult, error) {
+	dir, err := os.MkdirTemp("", "benchserve-*")
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := serve.Config{
+		Dir: dir, Policy: s.SPES, Training: train,
+		RetrainEvery: 480, SnapshotEvery: 480,
+	}
+	if mode == "overload" {
+		cfg.DecisionTimeout = time.Nanosecond
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServeResult{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	c := &serve.Client{
+		Base:  "http://" + ln.Addr().String(),
+		Retry: retry.Policy{MaxAttempts: 5, BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond},
+	}
+	rep, err := serve.Replay(c, simTr, serve.LoadOptions{BatchSlots: 4})
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	// Degraded replies return before their batches finish applying; the
+	// state hash is only comparable once the apply queue drains.
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.MetricsSnapshot().AppliedBatches < rep.Slots {
+		if time.Now().After(deadline) {
+			return ServeResult{}, fmt.Errorf("apply queue never drained (%d/%d batches)",
+				srv.MetricsSnapshot().AppliedBatches, rep.Slots)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hash, _, _, err := srv.StateHash()
+	if err != nil {
+		return ServeResult{}, err
+	}
+	m := srv.MetricsSnapshot()
+	return ServeResult{
+		Functions: s.Functions, Days: s.Days, TrainDays: s.TrainDays,
+		Seed: s.Seed, Scenario: "flashcrowd", Mode: mode,
+		Slots: rep.Slots, Batches: m.AppliedBatches, Events: rep.Events,
+		Requests: rep.Requests, Retries: rep.Retries, Degraded: rep.Degraded,
+		ShedQueue: m.ShedQueue, ShedDecision: m.ShedDecision, Snapshots: m.Snapshots,
+		ElapsedMs: rep.ElapsedMS, EventsPerSec: rep.EventsPerSec,
+		LatencyP50MS: rep.LatencyP50MS, LatencyP99MS: rep.LatencyP99MS,
+		LatencyP999MS: rep.LatencyP999MS, LatencyMaxMS: rep.LatencyMaxMS,
+		StateHash: fmt.Sprintf("%016x", hash),
+	}, nil
 }
 
 // resultsHash fingerprints a pass's results for cross-run bit-identity
@@ -526,6 +677,7 @@ func main() {
 	cacheSweep := flag.String("cacheSweep", "", "comma-separated population sizes for the cold-vs-warm sweep-cache measurement (empty: skip)")
 	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
 	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed, journals completed units to <dir>/sweep.journal (kill + rerun resumes), and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
+	serveBench := flag.Bool("serve", false, "add the serving-mode benchmark: an in-process spes-serve daemon ingesting a flash-crowd replay over HTTP, nominal and under forced decision-shedding, recording decision-latency percentiles, events/sec, and shed counters")
 	faults := flag.Int64("faults", 0, "non-zero: run the -cacheSweep under deterministic injected faults (disk I/O faults, worker panics, slow shards) with this schedule seed; a completed run must stay bit-identical to a clean one")
 	shardDelayMs := flag.Int("shardDelayMs", 0, "artificial delay in ms before every shard simulation (stretches the -cacheSweep so a test can kill it mid-run)")
 	panicShard := flag.Int("panicShard", -1, "force one worker panic on this shard's first attempt during the -cacheSweep (crash-isolation smoke)")
@@ -637,6 +789,12 @@ func main() {
 			fail("mega point", err)
 		}
 		snap.Sweep = append(snap.Sweep, pt)
+	}
+	if *serveBench {
+		snap.Serve, err = runServeBench(*sweepSeed)
+		if err != nil {
+			fail("serve benchmark", err)
+		}
 	}
 	if len(cacheScales) > 0 {
 		snap.CacheSweep, err = runCacheSweep(cacheScales, *cacheShards, *sweepSeed, cacheSweepOpts{

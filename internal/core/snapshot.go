@@ -1,0 +1,426 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/classify"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Snapshot/restore of live SPES policy state, the crash-safety half of the
+// serving daemon (internal/serve): EncodeState serializes everything a
+// restarted process needs to continue ticking exactly where the dead one
+// stopped, RestoreState rebuilds a fresh instance from those bytes, and
+// StateHash fingerprints the canonical state so tests can assert the
+// bit-identity invariant (DESIGN.md "Failure semantics"): a daemon killed
+// and restored from snapshot + journal tail reaches the same hash as one
+// that was never disturbed.
+//
+// Only the CANONICAL state is serialized — the facts that define the
+// policy's future decisions: profiles and their online-WT observations, the
+// hot per-function arrays (lastInvoked, eventSlot, seq, loaded,
+// preloadUntil, wtOff), the online-correlation counters, and the engine
+// clock (lastTick). Everything else is a derived view and is rebuilt on
+// restore: the type cache from profiles, the correlated-link reverse index
+// from profile links, the WT histogram family by replaying histAdd over the
+// serialized samples (an order-independent multiset), the loaded count from
+// the loaded set, and the timing wheel by re-arming each function's single
+// outstanding deadline from (eventSlot, seq). Abandoned stale-seq wheel
+// events are NOT resurrected — in the undisturbed process they fire as
+// no-ops (or surface as no-op wake-ups), neither of which changes canonical
+// state, so the restored process stays bit-identical where it matters.
+
+// snapMagic versions the encoding; any mismatch is a hard error, never a
+// guess.
+const snapMagic = "SPES-ST1"
+
+// EncodeState serializes the policy's canonical state. The policy must be
+// trained, and any pending load deltas must have been consumed
+// (TakeLoadDeltas) first — a snapshot between Tick and delta consumption
+// would fork the caller's accounting from the policy's.
+func (s *SPES) EncodeState() ([]byte, error) {
+	if s.states == nil {
+		return nil, fmt.Errorf("core: EncodeState on an untrained policy")
+	}
+	if len(s.deltas) > 0 {
+		return nil, fmt.Errorf("core: EncodeState with %d unconsumed load deltas; drain TakeLoadDeltas first", len(s.deltas))
+	}
+	n := len(s.states)
+	e := &stateEnc{buf: make([]byte, 0, 1<<16)}
+	e.bytes([]byte(snapMagic))
+	e.u64(sim.HashConfig(s.cfg))
+	e.i64(int64(s.trainSlots))
+	e.i64(int64(s.lastTick))
+	e.i64(int64(n))
+
+	for fid := 0; fid < n; fid++ {
+		f := s.meta[fid]
+		e.str(f.Name)
+		e.str(f.App)
+		e.str(f.User)
+		e.u8(uint8(f.Trigger))
+	}
+	for fid := 0; fid < n; fid++ {
+		e.i64(int64(s.lastInvoked[fid]))
+		e.i64(int64(s.eventSlot[fid]))
+		e.u64(uint64(s.seq[fid]))
+		e.bool(s.loaded[fid])
+		e.i64(int64(s.preloadUntil[fid]))
+		e.i64(int64(s.wtOff[fid]))
+	}
+	for fid := 0; fid < n; fid++ {
+		st := &s.states[fid]
+		p := &st.profile
+		e.u8(uint8(p.Type))
+		e.ints(p.Values)
+		e.i64(int64(p.RangeLo))
+		e.i64(int64(p.RangeHi))
+		e.f64(p.MedianWT)
+		e.f64(p.StdWT)
+		e.i64(int64(p.WTCount))
+		e.i64(int64(len(p.Links)))
+		for _, l := range p.Links {
+			e.i64(int64(l.Cand))
+			e.i64(int64(l.Lag))
+		}
+		e.i64(int64(st.currentWT))
+		e.bool(st.everTrained)
+		e.ints(st.onlineWTs)
+		e.i64(int64(st.wtHead))
+		e.i64(int64(st.adjustedAt))
+	}
+	e.bool(s.ucorr != nil)
+	if s.ucorr != nil {
+		for fid := 0; fid < n; fid++ {
+			e.i64(int64(s.ucorr.lastFired[fid]))
+		}
+		for fid := 0; fid < n; fid++ {
+			tgt := s.ucorr.targets[fid]
+			e.bool(tgt != nil)
+			if tgt == nil {
+				continue
+			}
+			e.i64(int64(tgt.invocations))
+			e.i64(int64(len(tgt.cands)))
+			for _, c := range tgt.cands {
+				e.i64(int64(c.fid))
+				e.i64(int64(c.hits))
+				e.i64(int64(c.fires))
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// RestoreState rebuilds the full policy state from EncodeState bytes onto a
+// freshly constructed (untrained) instance. The configuration must match the
+// snapshotting policy's — the embedded config hash is verified, because
+// thresholds baked into profiles and deadlines are meaningless under a
+// different config.
+func (s *SPES) RestoreState(data []byte) error {
+	if s.states != nil {
+		return fmt.Errorf("core: RestoreState on an already-initialized policy")
+	}
+	d := &stateDec{buf: data}
+	if string(d.take(len(snapMagic))) != snapMagic {
+		return fmt.Errorf("core: snapshot magic mismatch (not a SPES state snapshot, or a different version)")
+	}
+	if h := d.u64(); h != sim.HashConfig(s.cfg) {
+		return fmt.Errorf("core: snapshot was taken under a different SPES config (hash %016x, have %016x)",
+			h, sim.HashConfig(s.cfg))
+	}
+	s.trainSlots = int(d.i64())
+	s.lastTick = int(d.i64())
+	n := int(d.i64())
+	if d.err != nil {
+		return fmt.Errorf("core: truncated snapshot header: %w", d.err)
+	}
+	if n < 0 || n > 1<<31 {
+		return fmt.Errorf("core: snapshot claims %d functions", n)
+	}
+
+	s.meta = make([]trace.Function, n)
+	s.states = make([]funcState, n)
+	s.listeners = make([][]listener, n)
+	s.lastInvoked = make([]int32, n)
+	s.eventSlot = make([]int32, n)
+	s.seq = make([]uint32, n)
+	s.loaded = make([]bool, n)
+	s.typ = make([]classify.Type, n)
+	s.preloadUntil = make([]int32, n)
+	s.wtOff = make([]int8, n)
+	for typ := classify.Type(0); typ < classify.NumTypes; typ++ {
+		s.thetaGivenupByType[typ] = s.cfg.Classify.ThetaGivenup(typ)
+	}
+
+	for fid := 0; fid < n; fid++ {
+		s.meta[fid] = trace.Function{
+			ID:      trace.FuncID(fid),
+			Name:    d.str(),
+			App:     d.str(),
+			User:    d.str(),
+			Trigger: trace.Trigger(d.u8()),
+		}
+	}
+	s.loadedCount = 0
+	for fid := 0; fid < n; fid++ {
+		s.lastInvoked[fid] = int32(d.i64())
+		s.eventSlot[fid] = int32(d.i64())
+		s.seq[fid] = uint32(d.u64())
+		s.loaded[fid] = d.bool()
+		s.preloadUntil[fid] = int32(d.i64())
+		s.wtOff[fid] = int8(d.i64())
+		if s.loaded[fid] {
+			s.loadedCount++
+		}
+	}
+	for fid := 0; fid < n; fid++ {
+		st := &s.states[fid]
+		st.profile = classify.Profile{
+			Type:     classify.Type(d.u8()),
+			Values:   d.ints(),
+			RangeLo:  int(d.i64()),
+			RangeHi:  int(d.i64()),
+			MedianWT: d.f64(),
+			StdWT:    d.f64(),
+			WTCount:  int(d.i64()),
+		}
+		if links := int(d.i64()); links > 0 {
+			if links > len(d.buf) {
+				return fmt.Errorf("core: snapshot function %d claims %d links", fid, links)
+			}
+			st.profile.Links = make([]classify.Link, links)
+			for i := range st.profile.Links {
+				st.profile.Links[i] = classify.Link{Cand: int32(d.i64()), Lag: int32(d.i64())}
+			}
+		}
+		st.currentWT = int(d.i64())
+		st.everTrained = d.bool()
+		st.onlineWTs = d.ints()
+		st.wtHead = int32(d.i64())
+		st.adjustedAt = int(d.i64())
+
+		// Derived views: the type cache, the link reverse index, and the
+		// online-WT histogram (histAdd over any sample order rebuilds the
+		// same multiset the live instance maintained incrementally).
+		s.typ[fid] = st.profile.Type
+		for _, l := range st.profile.Links {
+			if l.Cand < 0 || int(l.Cand) >= n {
+				return fmt.Errorf("core: snapshot function %d links to candidate %d of %d", fid, l.Cand, n)
+			}
+			s.listeners[l.Cand] = append(s.listeners[l.Cand], listener{
+				target: trace.FuncID(fid), lag: l.Lag,
+			})
+		}
+		for _, wt := range st.onlineWTs {
+			st.histAdd(wt)
+		}
+	}
+	if d.bool() {
+		s.ucorr = newOnlineCorr(s.meta, s.cfg)
+		for fid := 0; fid < n; fid++ {
+			s.ucorr.lastFired[fid] = int(d.i64())
+		}
+		for fid := 0; fid < n; fid++ {
+			if !d.bool() {
+				continue
+			}
+			tgt := &utarget{fid: trace.FuncID(fid), invocations: int(d.i64())}
+			cands := int(d.i64())
+			if cands < 0 || cands > len(d.buf)+1 {
+				return fmt.Errorf("core: snapshot target %d claims %d candidates", fid, cands)
+			}
+			tgt.cands = make([]ucandidate, cands)
+			for i := range tgt.cands {
+				cand := int(d.i64())
+				if cand < 0 || cand >= n {
+					return fmt.Errorf("core: snapshot target %d names candidate %d of %d", fid, cand, n)
+				}
+				tgt.cands[i] = ucandidate{
+					fid:   trace.FuncID(cand),
+					hits:  int(d.i64()),
+					fires: int(d.i64()),
+				}
+			}
+			s.ucorr.targets[fid] = tgt
+			for _, c := range tgt.cands {
+				s.ucorr.byCandidate[c.fid] = append(s.ucorr.byCandidate[c.fid], tgt)
+			}
+		}
+	}
+	if d.err != nil {
+		return fmt.Errorf("core: truncated snapshot: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("core: %d trailing bytes after snapshot payload", len(d.buf))
+	}
+
+	// Re-arm the timing wheel from each function's single outstanding
+	// deadline. Stale-seq events the live wheel still carried are not
+	// recreated; they were no-ops there and their absence only spares a
+	// wake-up that would have changed nothing.
+	if !s.cfg.DenseScan {
+		s.wheel = sched.NewWheel(wheelSpan)
+		for fid := 0; fid < n; fid++ {
+			if ev := s.eventSlot[fid]; ev >= 0 {
+				s.wheel.Schedule(s.lastTick, int(ev), sched.Event{
+					Owner: int32(fid), Slot: ev, Seq: s.seq[fid],
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// StateHash fingerprints the canonical policy state (FNV-1a over the
+// EncodeState bytes): two instances with equal hashes will make identical
+// decisions forever after. It is the value the kill-and-restore tests — and
+// the daemon's /v1/statehash endpoint — compare.
+func (s *SPES) StateHash() (uint64, error) {
+	data, err := s.EncodeState()
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), nil
+}
+
+// WheelDepth reports the live timing-wheel event count (0 under DenseScan),
+// a queue-depth gauge for serving metrics.
+func (s *SPES) WheelDepth() int {
+	if s.wheel == nil {
+		return 0
+	}
+	return s.wheel.Live()
+}
+
+// Admit grows the policy by one function observed for the first time after
+// training — the live-admission path of the serving daemon. The newcomer is
+// seeded exactly as Train seeds a never-trained function (unknown type,
+// lazy-WT offset, lastInvoked rebased to before the training window) and is
+// registered for online correlation, so a later Retrain window containing
+// its history categorizes it just as a batch run over the full trace would.
+// The policy must be trained (or restored); the returned FuncID is the next
+// dense id, which the caller's trace metadata must agree with.
+func (s *SPES) Admit(f trace.Function) trace.FuncID {
+	fid := trace.FuncID(len(s.states))
+	f.ID = fid
+	s.meta = append(s.meta, f)
+	s.states = append(s.states, funcState{})
+	s.states[fid].currentWT = s.trainSlots
+	s.listeners = append(s.listeners, nil)
+	s.lastInvoked = append(s.lastInvoked, int32(-s.trainSlots))
+	s.eventSlot = append(s.eventSlot, -1)
+	s.seq = append(s.seq, 0)
+	s.loaded = append(s.loaded, false)
+	s.typ = append(s.typ, classify.TypeUnknown)
+	s.preloadUntil = append(s.preloadUntil, -1)
+	s.wtOff = append(s.wtOff, 1)
+	if s.ucorr != nil {
+		s.ucorr.admit(s.meta)
+		s.ucorr.register(fid)
+	}
+	return fid
+}
+
+// NumFunctions reports the policy's current population size (grows under
+// Admit).
+func (s *SPES) NumFunctions() int { return len(s.states) }
+
+// admit extends the online-correlation state for one newly admitted
+// function; meta is the policy's grown metadata slice (the newcomer last).
+func (u *onlineCorr) admit(meta []trace.Function) {
+	u.meta = meta
+	u.targets = append(u.targets, nil)
+	u.byCandidate = append(u.byCandidate, nil)
+	u.lastFired = append(u.lastFired, -1)
+}
+
+// stateEnc appends fixed-width little-endian fields; the format needs no
+// varints — snapshots are written through the disk-cache discipline, which
+// already handles framing and integrity.
+type stateEnc struct{ buf []byte }
+
+func (e *stateEnc) bytes(b []byte) { e.buf = append(e.buf, b...) }
+func (e *stateEnc) u8(v uint8)     { e.buf = append(e.buf, v) }
+func (e *stateEnc) u64(v uint64)   { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *stateEnc) i64(v int64)    { e.u64(uint64(v)) }
+func (e *stateEnc) f64(v float64)  { e.u64(math.Float64bits(v)) }
+func (e *stateEnc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *stateEnc) str(s string) {
+	e.i64(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *stateEnc) ints(v []int) {
+	e.i64(int64(len(v)))
+	for _, x := range v {
+		e.i64(int64(x))
+	}
+}
+
+// stateDec consumes a stateEnc buffer; the first short read latches err and
+// every later read returns zero, so decode loops stay linear and the caller
+// checks err once per section.
+type stateDec struct {
+	buf []byte
+	err error
+}
+
+func (d *stateDec) take(n int) []byte {
+	if d.err != nil || n < 0 || n > len(d.buf) {
+		if d.err == nil {
+			d.err = fmt.Errorf("need %d bytes, have %d", n, len(d.buf))
+		}
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+func (d *stateDec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (d *stateDec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (d *stateDec) i64() int64   { return int64(d.u64()) }
+func (d *stateDec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *stateDec) bool() bool   { return d.u8() != 0 }
+func (d *stateDec) str() string  { return string(d.take(int(d.i64()))) }
+func (d *stateDec) ints() []int {
+	n := int(d.i64())
+	if n == 0 {
+		return nil
+	}
+	if n < 0 || n*8 > len(d.buf) {
+		if d.err == nil {
+			d.err = fmt.Errorf("int slice claims %d entries, %d bytes left", n, len(d.buf))
+		}
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.i64())
+	}
+	return out
+}

@@ -48,6 +48,15 @@ type Config struct {
 	WorkerPanic int           // first-attempt shard simulations panicking (retry attempts never re-panic, so the run can complete)
 	SlowShard   int           // shard attempts sleeping SlowDelay before simulating
 	SlowDelay   time.Duration // sleep per slow shard (default 20ms when SlowShard > 0)
+
+	// Serving fault classes (internal/serve). The daemon and load client
+	// draw these themselves — same (seed, site, subject, seq) schedule, same
+	// invariant: any injected serving run that completes must reach the same
+	// policy state hash as the clean run.
+	DropConn        int           // ingest requests aborted server-side (the client sees a dropped connection and retries)
+	SlowClient      int           // load-client batches stalled before transmission
+	SlowClientDelay time.Duration // stall per slow batch (default 20ms when SlowClient > 0)
+	TornSnapshot    int           // serving snapshot writes persisting only a prefix (lying disk: the rename still lands)
 }
 
 // Default returns aggressive-but-recoverable rates: high enough that a
@@ -64,6 +73,21 @@ func Default() Config {
 		WorkerPanic: 300,
 		SlowShard:   200,
 		SlowDelay:   5 * time.Millisecond,
+	}
+}
+
+// ServeDefault returns the serving-mode counterpart of Default: dropped
+// connections and client stalls frequent enough that a short load replay
+// exercises the retry/dedup path, torn snapshots frequent enough that a
+// kill-and-restore run falls back across snapshot generations. Used by the
+// `-faults` flag of cmd/spes-serve and cmd/spes-load and the servesmoke CI
+// job.
+func ServeDefault() Config {
+	return Config{
+		DropConn:        60,
+		SlowClient:      100,
+		SlowClientDelay: 2 * time.Millisecond,
+		TornSnapshot:    300,
 	}
 }
 
@@ -165,6 +189,40 @@ func (in *Injector) BeforeShard(shard, attempt int) {
 	if attempt == 1 && in.cfg.WorkerPanic > 0 && in.decide("panic", subject, 1, in.cfg.WorkerPanic) {
 		panic(fmt.Sprintf("faultinject: injected worker panic on %s", subject))
 	}
+}
+
+// DropConn reports whether the serving daemon should abort this request
+// (subject: a stable request identity such as "events:<first seq>"), per the
+// seeded schedule. Each ask on a subject advances its sequence, so the
+// retried request rolls a fresh decision and eventually lands.
+func (in *Injector) DropConn(subject string) bool {
+	if in == nil || in.cfg.DropConn <= 0 {
+		return false
+	}
+	return in.decide("dropconn", subject, in.next("dropconn:"+subject), in.cfg.DropConn)
+}
+
+// SlowClient returns the stall to insert before transmitting the subject's
+// batch (0 when the schedule says run clean).
+func (in *Injector) SlowClient(subject string) time.Duration {
+	if in == nil || in.cfg.SlowClient <= 0 {
+		return 0
+	}
+	if in.decide("slowclient", subject, in.next("slowclient:"+subject), in.cfg.SlowClient) {
+		return in.cfg.SlowClientDelay
+	}
+	return 0
+}
+
+// TornSnapshot reports whether this serving snapshot write should persist
+// only a prefix (the rename still succeeds — a lying disk). The restore path
+// must reject the torn file by checksum and fall back to an older snapshot
+// or a full journal replay.
+func (in *Injector) TornSnapshot(subject string) bool {
+	if in == nil || in.cfg.TornSnapshot <= 0 {
+		return false
+	}
+	return in.decide("tornsnap", subject, in.next("tornsnap:"+subject), in.cfg.TornSnapshot)
 }
 
 // Counts snapshots the number of injected faults per class.

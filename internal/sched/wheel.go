@@ -111,6 +111,18 @@ func (w *Wheel) Drain(slot int, fn func(Event)) {
 	}
 }
 
+// Live returns the number of events currently held, ring and overflow
+// together. Abandoned (stale-seq) events still count until their slot
+// drains — the figure is a queue-depth gauge for monitoring, not an exact
+// pending-deadline count.
+func (w *Wheel) Live() int {
+	n := w.ringLive
+	for _, items := range w.overflow {
+		n += len(items)
+	}
+	return n
+}
+
 // NextOccupied returns the earliest slot in (after, limit] holding at least
 // one event, or -1 when there is none. It lets callers fast-forward across
 // empty slots: the ring is only scanned up to its horizon (a live ring event

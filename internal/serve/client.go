@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/sim"
+)
+
+// Client speaks the daemon's ingest protocol with the repository's standard
+// transient-fault discipline: network failures and 503 backpressure are
+// retried on the shared retry.Policy schedule (sim.IsTransient taxonomy),
+// protocol rejections surface immediately. The client owns the sequence
+// numbers — assigned once per batch and reused verbatim across retries —
+// which is what makes a retried delivery land as a duplicate ack instead of
+// a double-apply.
+type Client struct {
+	Base  string       // daemon base URL, e.g. "http://127.0.0.1:8080"
+	HTTP  *http.Client // nil: a client with a 30s overall timeout
+	Retry retry.Policy // zero value: package defaults
+
+	// Faults, when non-nil, injects the slow-client serving fault: a seeded
+	// stall before transmitting a batch, modelling a client that holds its
+	// events past their slot.
+	Faults *faultinject.Injector
+
+	nextSeq atomic.Uint64
+	retries atomic.Int64
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Retries returns the number of re-delivery attempts performed so far
+// (attempts beyond each request's first).
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// Send assigns sequence numbers to the batches, delivers them as one NDJSON
+// request, and returns the per-batch replies. Transient failures (network
+// errors, shed 503s, injected dropped connections) are retried with the
+// same sequence numbers; a reply carrying a protocol rejection is returned
+// as an error.
+func (c *Client) Send(batches []Batch) ([]Reply, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	for i := range batches {
+		batches[i].Seq = c.nextSeq.Add(1)
+	}
+	var payload bytes.Buffer
+	enc := json.NewEncoder(&payload)
+	for i := range batches {
+		if err := enc.Encode(&batches[i]); err != nil {
+			return nil, fmt.Errorf("serve: encode batch: %w", err)
+		}
+	}
+	subject := fmt.Sprintf("batch-%d", batches[0].Seq)
+
+	var replies []Reply
+	op := func(attempt int) error {
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		if d := c.Faults.SlowClient(subject); d > 0 {
+			time.Sleep(d)
+		}
+		req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/events",
+			bytes.NewReader(payload.Bytes()))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set("Spes-Batch", subject)
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return sim.MarkTransient(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			return sim.MarkTransient(fmt.Errorf("serve: daemon shed request (503)"))
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("serve: daemon returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		replies = replies[:0]
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), maxBatchLine)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var r Reply
+			if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+				return sim.MarkTransient(fmt.Errorf("serve: bad reply line: %w", err))
+			}
+			replies = append(replies, r)
+		}
+		if err := sc.Err(); err != nil {
+			return sim.MarkTransient(err)
+		}
+		if len(replies) != len(batches) {
+			return sim.MarkTransient(fmt.Errorf("serve: %d replies for %d batches", len(replies), len(batches)))
+		}
+		return nil
+	}
+	if err := c.Retry.Do(op, sim.IsTransient); err != nil {
+		return nil, err
+	}
+	for i := range replies {
+		if replies[i].Error != "" {
+			return replies, fmt.Errorf("serve: batch seq %d rejected: %s", replies[i].Seq, replies[i].Error)
+		}
+	}
+	return replies, nil
+}
+
+// StateHash fetches the daemon's canonical state hash.
+func (c *Client) StateHash() (StateHashReply, error) {
+	var out StateHashReply
+	err := c.getJSON("/v1/statehash", &out)
+	return out, err
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics() (Metrics, error) {
+	var out Metrics
+	err := c.getJSON("/v1/metrics", &out)
+	return out, err
+}
+
+// Snapshot asks the daemon to snapshot its state now.
+func (c *Client) Snapshot() error {
+	resp, err := c.http().Post(c.Base+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		return sim.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: snapshot returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return sim.MarkTransient(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("serve: GET %s returned %d: %s", path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

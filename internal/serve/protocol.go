@@ -1,0 +1,106 @@
+// Package serve is the online serving mode: a crash-safe daemon that feeds
+// live invocation events into the event-stream simulation core (sim.Driver)
+// over HTTP and emits the policy's pre-warm/evict decisions, with a
+// write-ahead journal plus checksummed state snapshots for restart, bounded
+// ingest queues with documented load-shedding for overload, and a load
+// generator that replays trace scenarios against it.
+//
+// Sim time vs wall time: the protocol carries the slot number on every
+// batch, and the daemon's only clock is that slot stream — a batch ingested
+// hours after the previous one and a batch replayed microseconds later
+// produce bit-identical policy state (the crash-restore tests assert it by
+// state hash). Wall time exists only at the edges: request deadlines,
+// queue timeouts, and latency metrics.
+//
+// Failure semantics, in one line each:
+//   - Crash (SIGKILL) at any instant: restart restores the newest valid
+//     snapshot and replays the journaled tail; state is bit-identical to a
+//     run that never crashed (torn journal tails are healed, torn or
+//     corrupt snapshots are rejected by checksum and older generations or
+//     a full replay take over).
+//   - Overload: ingest beyond the bounded queue is refused with 503
+//     (backpressure; the client retries with backoff), and a batch whose
+//     decision misses its deadline gets a degraded fixed-keepalive reply
+//     while the authoritative apply still completes in order — the daemon
+//     sheds DECISIONS, never state.
+//   - Duplicate delivery: batches carry client-assigned sequence numbers;
+//     a replayed sequence is acknowledged without re-applying, so client
+//     retries are exactly-once.
+package serve
+
+import "repro/internal/trace"
+
+// AdmitFunc is the metadata of a function first announced mid-stream. The
+// daemon admits it through the policy's live-admission path (core.SPES.Admit
+// seeds it exactly as training would an unseen function; the next retrain
+// boundary categorizes it).
+type AdmitFunc struct {
+	Name    string `json:"name"`
+	App     string `json:"app"`
+	User    string `json:"user"`
+	Trigger uint8  `json:"trigger"`
+}
+
+// EventPair is one function's invocations in a slot: [FuncID, count].
+type EventPair [2]int64
+
+// Batch is the ingest unit: one simulation slot's arrivals, one NDJSON line
+// per batch on POST /v1/events. Seq is the client-assigned sequence number
+// (contiguous from 1, the daemon's idempotency key); Slot is the simulation
+// slot, strictly increasing across applied batches — slots in between are
+// advanced as invocation-free, so callers only send occupied slots. Admit
+// lists functions first seen this slot (applied before Events, so Events may
+// reference the new IDs); Events is FuncID-ascending with positive counts.
+type Batch struct {
+	Seq    uint64      `json:"seq"`
+	Slot   int         `json:"slot"`
+	Admit  []AdmitFunc `json:"admit,omitempty"`
+	Events []EventPair `json:"events,omitempty"`
+}
+
+// Reply is the per-batch response line. Exactly one of three shapes:
+//   - applied=true: the authoritative outcome — Cold lists functions that
+//     cold-started this slot, Flips the loaded-set changes (in flip order;
+//     toggling reconstructs the pre-warm/evict decisions), Loaded the
+//     post-slot loaded count, Admitted the IDs assigned to Admit entries.
+//   - duplicate=true: the seq was already applied; state untouched.
+//   - degraded=true: the decision deadline passed before the batch was
+//     applied. Policy names the documented fallback ("fixed-keepalive"):
+//     keep whatever is warm for Keepalive more slots and load on demand.
+//     The batch is still applied in order — only the decision was shed.
+//
+// Error (with applied=false) reports a rejected batch: a seq gap, a stale
+// slot, or malformed events. Rejected batches are never journaled.
+type Reply struct {
+	Seq       uint64  `json:"seq"`
+	Slot      int     `json:"slot"`
+	Applied   bool    `json:"applied"`
+	Duplicate bool    `json:"duplicate,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Keepalive int     `json:"keepalive,omitempty"`
+	Admitted  []int64 `json:"admitted,omitempty"`
+	Cold      []int64 `json:"cold,omitempty"`
+	Flips     []int64 `json:"flips,omitempty"`
+	Loaded    int     `json:"loaded"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// StateHashReply is GET /v1/statehash: the policy's canonical state hash
+// (core.SPES.StateHash) plus the stream position it covers. Two daemons —
+// or a daemon and a batch run — that ingested the same events agree on it.
+type StateHashReply struct {
+	StateHash string `json:"state_hash"` // %016x
+	Slot      int    `json:"slot"`       // next slot the daemon will accept
+	Seq       uint64 `json:"seq"`        // last applied sequence number
+	Functions int    `json:"functions"`
+}
+
+// toFuncCounts converts validated wire events to the simulator's shape.
+func toFuncCounts(events []EventPair, buf []trace.FuncCount) []trace.FuncCount {
+	buf = buf[:0]
+	for _, ev := range events {
+		buf = append(buf, trace.FuncCount{Func: trace.FuncID(ev[0]), Count: int32(ev[1])})
+	}
+	return buf
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/faultinject"
+	"repro/internal/sim"
+)
+
+// Snapshot discipline (same staged-write rules as sim.DiskCache): encode to
+// a buffer, write to a temp file in the same directory, rename over the
+// final name, and checksum the whole entry so a reader can only ever see a
+// bit-exact snapshot or reject it. Snapshots are an OPTIMIZATION over the
+// journal — they move the replay start forward — so any damage (torn write,
+// bit rot, version skew) downgrades to an older generation or to a full
+// journal replay, never to an error the daemon cannot start from.
+//
+// File format, little-endian:
+//
+//	"SPESRVS1" | seq u64 | nextSlot u64 | stateLen u64 | state | crc32c u32
+//
+// where state is core.SPES.EncodeState (itself magic- and config-hash
+// guarded) and the CRC covers everything before it.
+const (
+	servSnapMagic = "SPESRVS1"
+	snapKeep      = 2 // newest generations retained; older ones are pruned
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// realFS is the production sim.CacheFS for snapshot files.
+type realFS struct{}
+
+func (realFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (realFS) CreateTemp(dir, pattern string) (sim.CacheFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (realFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (realFS) Remove(name string) error             { return os.Remove(name) }
+
+// snapshotter writes and restores the daemon's state snapshots in dir.
+type snapshotter struct {
+	dir    string
+	fs     sim.CacheFS
+	faults *faultinject.Injector
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("state-%020d.snap", seq) }
+
+// list returns the snapshot filenames present, newest (highest seq) first.
+func (sn *snapshotter) list() []string {
+	entries, err := os.ReadDir(sn.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasPrefix(n, "state-") && strings.HasSuffix(n, ".snap") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded seq: lexicographic = numeric
+	return names
+}
+
+// save persists state (the policy encoding) covering the stream position
+// (seq, nextSlot), then prunes generations beyond snapKeep. A TornSnapshot
+// fault truncates the written bytes while the rename still lands — the
+// lying-disk case the checksum exists to catch.
+func (sn *snapshotter) save(seq uint64, nextSlot int, state []byte) error {
+	buf := make([]byte, 0, len(servSnapMagic)+24+len(state)+4)
+	buf = append(buf, servSnapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nextSlot))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(state)))
+	buf = append(buf, state...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, snapCRC))
+
+	final := filepath.Join(sn.dir, snapName(seq))
+	write := buf
+	if sn.faults.TornSnapshot(snapName(seq)) {
+		write = buf[:len(buf)/2]
+	}
+	f, err := sn.fs.CreateTemp(sn.dir, ".tmp-snap-*")
+	if err != nil {
+		return fmt.Errorf("serve: stage snapshot: %w", err)
+	}
+	if _, err := f.Write(write); err != nil {
+		name := f.Name()
+		f.Close()
+		sn.fs.Remove(name)
+		return fmt.Errorf("serve: write snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		sn.fs.Remove(f.Name())
+		return fmt.Errorf("serve: close snapshot: %w", err)
+	}
+	if err := sn.fs.Rename(f.Name(), final); err != nil {
+		sn.fs.Remove(f.Name())
+		return fmt.Errorf("serve: publish snapshot: %w", err)
+	}
+	for i, name := range sn.list() {
+		if i >= snapKeep {
+			sn.fs.Remove(filepath.Join(sn.dir, name))
+		}
+	}
+	return nil
+}
+
+// load returns the newest restorable snapshot whose seq is covered by the
+// journal (seq <= maxSeq: a snapshot AHEAD of the journal cannot be
+// reconciled with the recorded history and is skipped like a corrupt one).
+// rejected counts the generations that failed validation; ok=false means no
+// usable snapshot exists and the caller replays the full journal.
+func (sn *snapshotter) load(maxSeq uint64) (seq uint64, nextSlot int, state []byte, rejected int, ok bool) {
+	for _, name := range sn.list() {
+		s, slot, st, err := sn.read(filepath.Join(sn.dir, name))
+		if err != nil || s > maxSeq {
+			rejected++
+			continue
+		}
+		return s, slot, st, rejected, true
+	}
+	return 0, 0, nil, rejected, false
+}
+
+// read validates one snapshot file end to end.
+func (sn *snapshotter) read(path string) (seq uint64, nextSlot int, state []byte, err error) {
+	data, err := sn.fs.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	hdr := len(servSnapMagic) + 24
+	if len(data) < hdr+4 || string(data[:len(servSnapMagic)]) != servSnapMagic {
+		return 0, 0, nil, fmt.Errorf("serve: snapshot %s: bad header", filepath.Base(path))
+	}
+	body, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, snapCRC) != binary.LittleEndian.Uint32(sum) {
+		return 0, 0, nil, fmt.Errorf("serve: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	seq = binary.LittleEndian.Uint64(data[len(servSnapMagic):])
+	nextSlot = int(binary.LittleEndian.Uint64(data[len(servSnapMagic)+8:]))
+	n := binary.LittleEndian.Uint64(data[len(servSnapMagic)+16:])
+	if uint64(len(body)-hdr) != n {
+		return 0, 0, nil, fmt.Errorf("serve: snapshot %s: length mismatch", filepath.Base(path))
+	}
+	return seq, nextSlot, body[hdr:], nil
+}

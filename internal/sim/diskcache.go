@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/trace"
 )
 
@@ -181,11 +182,12 @@ func (d *DiskCache) path(key shardKey) string {
 }
 
 // Write-path retry bounds: a failing save re-stages the whole temp-file
-// write up to diskSaveAttempts times with a short backoff. Filesystem
-// errors cannot be reliably classified from errno alone, so the write path
-// treats every failure as possibly transient and lets the attempt cap
-// bound the damage; a save that still fails is reported to ShardCache,
-// which counts it toward the disk-tier tripwire.
+// write up to diskSaveAttempts times with a short backoff (retry.Policy's
+// doubling schedule: 2ms, then 4ms). Filesystem errors cannot be reliably
+// classified from errno alone, so the write path treats every failure as
+// possibly transient (nil classifier) and lets the attempt cap bound the
+// damage; a save that still fails is reported to ShardCache, which counts
+// it toward the disk-tier tripwire.
 const (
 	diskSaveAttempts = 3
 	diskSaveBackoff  = 2 * time.Millisecond
@@ -197,16 +199,8 @@ const (
 // costs a future re-simulation.
 func (d *DiskCache) save(key shardKey, ent *shardEntry) error {
 	buf := encodeEntry(key, ent)
-	var lastErr error
-	for attempt := 1; attempt <= diskSaveAttempts; attempt++ {
-		if attempt > 1 {
-			time.Sleep(diskSaveBackoff << (attempt - 2))
-		}
-		if lastErr = d.writeEntry(buf, key); lastErr == nil {
-			return nil
-		}
-	}
-	return lastErr
+	p := retry.Policy{MaxAttempts: diskSaveAttempts, BaseDelay: diskSaveBackoff}
+	return p.Do(func(int) error { return d.writeEntry(buf, key) }, nil)
 }
 
 // writeEntry is one staged write: temp file, full-length write, close,

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/retry"
 )
 
 // This file is the failure-semantics layer of the sharded engine: the
@@ -95,44 +97,23 @@ type RetryPolicy struct {
 	MaxDelay    time.Duration // backoff cap (default 250ms)
 }
 
-// Defaults for RetryPolicy's zero fields.
-const (
-	defaultRetryAttempts = 3
-	defaultRetryBase     = 5 * time.Millisecond
-	defaultRetryMax      = 250 * time.Millisecond
-)
+// defaultRetryAttempts is the zero-value budget, now owned by the shared
+// retry helper.
+const defaultRetryAttempts = retry.DefaultAttempts
+
+// policy converts to the shared retry helper; the defaults (3 attempts, 5ms
+// base, 250ms cap) are retry's package defaults, so the zero RetryPolicy
+// keeps its historical schedule exactly.
+func (p RetryPolicy) policy() retry.Policy {
+	return retry.Policy{MaxAttempts: p.MaxAttempts, BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay}
+}
 
 // attempts resolves the effective attempt budget.
-func (p RetryPolicy) attempts() int {
-	switch {
-	case p.MaxAttempts < 0:
-		return 1
-	case p.MaxAttempts == 0:
-		return defaultRetryAttempts
-	default:
-		return p.MaxAttempts
-	}
-}
+func (p RetryPolicy) attempts() int { return p.policy().Attempts() }
 
 // backoff returns the sleep before attempt n+1 (n is the 1-based attempt
 // that just failed): BaseDelay doubled per failure, capped at MaxDelay.
-func (p RetryPolicy) backoff(n int) time.Duration {
-	base, cap := p.BaseDelay, p.MaxDelay
-	if base <= 0 {
-		base = defaultRetryBase
-	}
-	if cap <= 0 {
-		cap = defaultRetryMax
-	}
-	d := base
-	for i := 1; i < n && d < cap; i++ {
-		d *= 2
-	}
-	if d > cap {
-		d = cap
-	}
-	return d
-}
+func (p RetryPolicy) backoff(n int) time.Duration { return p.policy().Backoff(n) }
 
 // ShardFaultHook is the fault-injection seam at the shard-worker boundary:
 // when Options.FaultHook is set, the engine calls BeforeShard(shard,

@@ -248,10 +248,14 @@ func Run(policy Policy, training, simTrace *trace.Trace, opts Options) (*Result,
 	return runOne(policy, training, simTrace, opts, nil)
 }
 
-// runOne is the single-population simulation loop. When log is non-nil the
-// per-slot (loaded, active) counts are recorded for the sharded merge. When
-// opts.pool is non-nil the whole run holds one worker token, bounding how
-// many simulations execute at once.
+// runOne is the single-population simulation loop: the batch driver of the
+// event-stream Driver. It feeds the Driver only the occupied slots of the
+// trace's slot index — the Driver advances the invocation-free gaps itself
+// (batch-charging provably idle spans, slot-by-slot ticks otherwise), which
+// is the exact arithmetic the loop used to do eagerly. When log is non-nil
+// the per-slot (loaded, active) counts are recorded for the sharded merge.
+// When opts.pool is non-nil the whole run holds one worker token, bounding
+// how many simulations execute at once.
 func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *slotLog) (*Result, error) {
 	if opts.pool != nil {
 		opts.pool <- struct{}{}
@@ -261,259 +265,34 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 		policy.Train(training)
 	}
 
-	n := simTrace.NumFunctions()
-	res := &Result{
-		Policy:    policy.Name(),
-		Slots:     simTrace.Slots,
-		Functions: n,
-		PerFunc:   make([]FuncMetrics, n),
-	}
 	idx := simTrace.BuildSlotIndex()
-
-	// Delta mode: when the policy logs loaded-set flips, idle-memory
-	// attribution charges whole residency intervals at unload time instead of
-	// scanning all n functions every slot, making the per-slot accounting
-	// O(invoked + flipped). The tracked mirror (loaded/loadedFrom/
-	// invokedLoaded) is seeded from one post-Train scan; training-era deltas
-	// are discarded by the probe call.
-	var (
-		tracker       LoadDeltaTracker
-		loaded        []bool
-		loadedFrom    []int32 // slot the current residency began (valid while loaded)
-		invokedLoaded []int32 // invoked slots during the current residency
-	)
-	if tr, ok := policy.(LoadDeltaTracker); ok {
-		if _, ok := tr.TakeLoadDeltas(); ok {
-			tracker = tr
-			loaded = make([]bool, n)
-			loadedFrom = make([]int32, n)
-			invokedLoaded = make([]int32, n)
-			for fid := 0; fid < n; fid++ {
-				if policy.Loaded(trace.FuncID(fid)) {
-					loaded[fid] = true
-				}
+	cfg := DriverConfig{
+		MeasureOverhead: opts.MeasureOverhead,
+		Progress:        opts.Progress,
+		ProgressEvery:   opts.ProgressEvery,
+		log:             log,
+	}
+	if opts.RetrainEvery > 0 {
+		if _, ok := policy.(Retrainer); ok {
+			cfg.RetrainEvery = opts.RetrainEvery
+			cfg.RetrainWindow = opts.retrainEffectiveWindow(training)
+			cfg.Window = func(t, w int) *trace.Trace {
+				return retrainWindow(training, simTrace, t, w)
 			}
 		}
 	}
-
-	// invokedAt marks the functions invoked in the current slot so the dense
-	// fallback's post-Tick memory charge can tell active instances from idle
-	// ones without a per-slot map allocation.
-	var invokedAt []bool
-	if tracker == nil {
-		invokedAt = make([]bool, n)
-	}
-
-	// Batch-advance: when the policy can prove its empty Ticks are no-ops
-	// (IdleSkipper) and accounting runs in delta mode, invocation-free spans
-	// with no pending policy wake-up are charged in one step instead of
-	// ticked slot by slot. Disabled under MeasureOverhead so the overhead
-	// metric keeps counting every Tick it always counted, and in dense mode,
-	// which must scan every slot anyway.
-	var skipper IdleSkipper
-	if tracker != nil && !opts.MeasureOverhead {
-		if s, ok := policy.(IdleSkipper); ok {
-			skipper = s
-		}
-	}
-
-	// Online re-categorization: at retrain boundaries the policy sees a
-	// sliding window of the history observed so far. The call lands before
-	// phase 1, and the Retrainer contract forbids it from touching the
-	// loaded set, so both the cold-start charge and the delta mirror stay
-	// exact.
-	var retrainer Retrainer
-	retrainWin := 0
-	if opts.RetrainEvery > 0 {
-		if r, ok := policy.(Retrainer); ok {
-			retrainer = r
-			retrainWin = opts.retrainEffectiveWindow(training)
-		}
-	}
+	d := NewDriver(policy, simTrace.NumFunctions(), cfg)
 
 	for t := 0; t < simTrace.Slots; t++ {
-		if retrainer != nil && t > 0 && t%opts.RetrainEvery == 0 {
-			retrainer.Retrain(t, retrainWindow(training, simTrace, t, retrainWin))
-		}
-
 		invs := idx.Invocations[t]
-
-		// Phase 1: cold-start accounting against the pre-Tick loaded set.
-		// In delta mode the tracked mirror equals policy.Loaded and spares
-		// an interface call per invocation.
-		if tracker != nil {
-			for _, fc := range invs {
-				m := &res.PerFunc[fc.Func]
-				m.Invocations += int64(fc.Count)
-				m.InvokedSlot++
-				if !loaded[fc.Func] {
-					m.ColdStarts++
-					res.TotalColdStarts++
-				}
-			}
-		} else {
-			for _, fc := range invs {
-				m := &res.PerFunc[fc.Func]
-				m.Invocations += int64(fc.Count)
-				m.InvokedSlot++
-				if !policy.Loaded(fc.Func) {
-					m.ColdStarts++
-					res.TotalColdStarts++
-				}
-				invokedAt[fc.Func] = true
-			}
+		if len(invs) == 0 {
+			continue // the Driver advances the gap at the next occupied Step
 		}
-		res.TotalInvocations += funcCountTotal(invs)
-		res.TotalInvokedSlot += int64(len(invs))
-
-		// Phase 2: let the policy observe and re-provision.
-		if opts.MeasureOverhead {
-			start := time.Now()
-			policy.Tick(t, invs)
-			res.Overhead += time.Since(start)
-		} else {
-			policy.Tick(t, invs)
-		}
-
-		// Phase 3: memory accounting on the post-Tick loaded set.
-		loadedCount := policy.LoadedCount()
-		res.TotalMemory += int64(loadedCount)
-		if loadedCount > res.MaxLoaded {
-			res.MaxLoaded = loadedCount
-		}
-
-		if tracker != nil {
-			// Each delta entry is one flip; toggling replays the Tick's
-			// loaded-set changes exactly. An unload closes the residency
-			// [loadedFrom, t-1] and charges its idle minutes (length minus
-			// the invoked-while-loaded slots) in one step.
-			deltas, _ := tracker.TakeLoadDeltas()
-			for _, fid := range deltas {
-				if loaded[fid] {
-					loaded[fid] = false
-					res.PerFunc[fid].WMTMinutes +=
-						int64(t) - int64(loadedFrom[fid]) - int64(invokedLoaded[fid])
-					invokedLoaded[fid] = 0
-				} else {
-					loaded[fid] = true
-					loadedFrom[fid] = int32(t)
-				}
-			}
-		}
-
-		activeLoaded := 0
-		if tracker != nil {
-			for _, fc := range invs {
-				if loaded[fc.Func] {
-					activeLoaded++
-					invokedLoaded[fc.Func]++
-				}
-			}
-		} else {
-			for _, fc := range invs {
-				if policy.Loaded(fc.Func) {
-					activeLoaded++
-				}
-			}
-		}
-		if log != nil {
-			log.loaded = append(log.loaded, int32(loadedCount))
-			log.active = append(log.active, int32(activeLoaded))
-		}
-		idle := loadedCount - activeLoaded
-		if idle < 0 {
-			// A policy evicting a function in the same slot it was invoked
-			// cannot push idle below zero; guard against miscounting bugs.
-			idle = 0
-		}
-		res.TotalWMT += int64(idle)
-		if loadedCount > 0 {
-			res.EMCRSum += float64(activeLoaded) / float64(loadedCount)
-			res.EMCRSlots++
-		}
-
-		// Dense fallback: charge idle minutes to the loaded-but-not-invoked
-		// functions by scanning the whole population.
-		if tracker == nil {
-			for fid := 0; fid < n; fid++ {
-				if policy.Loaded(trace.FuncID(fid)) && !invokedAt[fid] {
-					res.PerFunc[fid].WMTMinutes++
-				}
-			}
-			for _, fc := range invs {
-				invokedAt[fc.Func] = false
-			}
-		}
-
-		if opts.Progress != nil && opts.ProgressEvery > 0 && t%opts.ProgressEvery == 0 {
-			opts.Progress(t)
-		}
-
-		// Batch-advance over the invocation-free span following t. Each
-		// skipped slot is accounted exactly as a changing-nothing Tick would
-		// be: loadedCount memory units, all idle (active is 0 by
-		// construction), EMCR term 0/loadedCount. Per-function idle minutes
-		// need no work here — delta mode charges whole residency intervals at
-		// unload time, and skipped slots just extend them.
-		if skipper != nil {
-			limit := simTrace.Slots - 1
-			if retrainer != nil {
-				// Never skip across a retrain boundary: the boundary slot
-				// must run its Retrain call even if empty.
-				if b := (t/opts.RetrainEvery+1)*opts.RetrainEvery - 1; b < limit {
-					limit = b
-				}
-			}
-			end := t + 1
-			for end <= limit && len(idx.Invocations[end]) == 0 {
-				end++
-			}
-			end-- // last invocation-free slot in the window
-			if end > t {
-				wake, ok := skipper.NextWake(t, end)
-				if !ok {
-					continue
-				}
-				if wake >= 0 {
-					end = wake - 1 // tick the wake-up slot normally
-				}
-				if end > t {
-					span := int64(end - t)
-					lc := int64(loadedCount)
-					res.TotalMemory += span * lc
-					res.TotalWMT += span * lc
-					if loadedCount > 0 {
-						res.EMCRSlots += span
-					}
-					if log != nil {
-						for u := t; u < end; u++ {
-							log.loaded = append(log.loaded, int32(loadedCount))
-							log.active = append(log.active, 0)
-						}
-					}
-					t = end
-				}
-			}
+		if _, err := d.Step(t, invs); err != nil {
+			return nil, err
 		}
 	}
-
-	// Close the residencies still open at the end of the simulation.
-	if tracker != nil {
-		for fid := 0; fid < n; fid++ {
-			if loaded[fid] {
-				res.PerFunc[fid].WMTMinutes +=
-					int64(simTrace.Slots) - int64(loadedFrom[fid]) - int64(invokedLoaded[fid])
-			}
-		}
-	}
-
-	if tagger, ok := policy.(TypeTagger); ok {
-		res.Types = make([]string, n)
-		for fid := 0; fid < n; fid++ {
-			res.Types[fid] = tagger.TypeOf(trace.FuncID(fid))
-		}
-	}
-	return res, nil
+	return d.Close(simTrace.Slots), nil
 }
 
 // RunStreamed simulates the policy over a Source: the sharded engine with
