@@ -12,7 +12,9 @@
 //   - per-Tick benchmark ns/op, by benchmark name;
 //   - per-Tick benchmark bytes/op and allocs/op, by benchmark name;
 //   - scale-sweep full-simulation wall time, by (functions, shards, mode,
-//     scenario);
+//     scenario, policy) — policy is empty for SPES rows, so legacy
+//     baselines keep matching; current rows with no baseline entry (a new
+//     scenario or -sweepCapacity policy) are reported and skipped;
 //   - scale-sweep heap_peak_bytes, same key;
 //   - serving-benchmark decision latency and events/sec, by (functions,
 //     scenario, mode) — always warn-only: HTTP round-trip latency on a
@@ -51,10 +53,14 @@ type benchmark struct {
 }
 
 type sweepPoint struct {
-	Functions     int     `json:"functions"`
-	Shards        int     `json:"shards"`
-	Mode          string  `json:"mode"`
-	Scenario      string  `json:"scenario,omitempty"`
+	Functions int    `json:"functions"`
+	Shards    int    `json:"shards"`
+	Mode      string `json:"mode"`
+	Scenario  string `json:"scenario,omitempty"`
+	// Policy is empty for the default SPES rows and names the baseline
+	// policy for -sweepCapacity rows (FaaSCache, LCS). Legacy snapshots
+	// decode it as "", so their keys keep matching SPES rows unchanged.
+	Policy        string  `json:"policy,omitempty"`
 	FullSimMs     float64 `json:"full_sim_ms"`
 	HeapPeakBytes uint64  `json:"heap_peak_bytes"`
 }
@@ -186,26 +192,33 @@ func run() error {
 		}
 	}
 
-	// Sweep points by (functions, shards, mode, scenario).
+	// Sweep points by (functions, shards, mode, scenario, policy). Rows with
+	// no baseline entry are reported and skipped, not failed: a snapshot that
+	// grows a new row kind (a new scenario, a -sweepCapacity policy) stays
+	// warn-only until a baseline carrying that row is committed.
 	type sweepKey struct {
-		functions, shards int
-		mode, scenario    string
+		functions, shards      int
+		mode, scenario, policy string
 	}
 	baseSweep := make(map[sweepKey]sweepPoint, len(base.Sweep))
 	for _, p := range base.Sweep {
-		baseSweep[sweepKey{p.Functions, p.Shards, p.Mode, p.Scenario}] = p
+		baseSweep[sweepKey{p.Functions, p.Shards, p.Mode, p.Scenario, p.Policy}] = p
 	}
 	heapCompared := 0
 	for _, c := range cur.Sweep {
-		p, ok := baseSweep[sweepKey{c.Functions, c.Shards, c.Mode, c.Scenario}]
-		if !ok {
-			continue
-		}
-		compared++
 		label := fmt.Sprintf("sweep n=%d x%d %s", c.Functions, c.Shards, c.Mode)
 		if c.Scenario != "" {
 			label += " " + c.Scenario
 		}
+		if c.Policy != "" {
+			label += " " + c.Policy
+		}
+		p, ok := baseSweep[sweepKey{c.Functions, c.Shards, c.Mode, c.Scenario, c.Policy}]
+		if !ok {
+			fmt.Printf("info  %s: no baseline entry; not gated (commit a baseline with this row to gate it)\n", label)
+			continue
+		}
+		compared++
 		if p.FullSimMs > 0 && c.FullSimMs <= 0 {
 			report(true, "%s: current snapshot has no wall time (baseline %.1fms)", label, p.FullSimMs)
 		}

@@ -14,7 +14,10 @@
 // to the wall clock: shard counts > 1 run twice, once over materialized
 // traces and once streamed through sim.GeneratorSource, and each point
 // regenerates its own workload so generation residency is attributed to
-// the mode that pays it.
+// the mode that pays it. -sweepCapacity extends the sweep with the
+// capacity-coupled baselines (FaaSCache, LCS) at every scale and shard
+// count — sharded through the lockstep arbitration engine, budgeted at the
+// scale's SPES MaxLoaded, and checked bit-identical across shard counts.
 //
 // -cacheSweep runs a Figure-13a-style 5-point theta_prewarm sweep twice
 // through one sim.ShardCache — cold, then warm — recording both wall
@@ -60,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
@@ -109,12 +113,20 @@ type Snapshot struct {
 // overhead floor rather than a speedup; the near-linear scaling claim
 // needs maxprocs >= shards.
 type SweepPoint struct {
-	Functions      int     `json:"functions"`
-	Days           int     `json:"days"`
-	TrainDays      int     `json:"train_days"`
-	Seed           int64   `json:"seed"`
-	Shards         int     `json:"shards"`
-	Mode           string  `json:"mode"`
+	Functions int    `json:"functions"`
+	Days      int    `json:"days"`
+	TrainDays int    `json:"train_days"`
+	Seed      int64  `json:"seed"`
+	Shards    int    `json:"shards"`
+	Mode      string `json:"mode"`
+	// Policy distinguishes -sweepCapacity rows (FaaSCache, LCS — the
+	// capacity-coupled baselines, sharded through the lockstep arbitration
+	// engine) from the default SPES rows, which leave it empty so legacy
+	// baselines keep decoding and matching unchanged. Capacity records the
+	// global warm-pool budget those rows ran with: the same-scale SPES
+	// point's MaxLoaded, the convention of internal/experiments.
+	Policy         string  `json:"policy,omitempty"`
+	Capacity       int     `json:"capacity,omitempty"`
 	Scenario       string  `json:"scenario,omitempty"`    // library scenario ("" = stationary sparse)
 	GenerateMs     float64 `json:"generate_ms,omitempty"` // materialized only; streamed generates inside FullSimMs
 	FullSimMs      float64 `json:"full_sim_ms"`           // train + simulate (streamed: + generation), wall clock
@@ -357,12 +369,16 @@ type cacheSweepOpts struct {
 }
 
 // runSweep executes the scale sweep in-process: per scale and shard count a
-// materialized point, plus a streamed point for shard counts > 1. stop
-// aborts between shards (SIGINT/SIGTERM).
-func runSweep(scales, shardCounts []int, seed int64, stop <-chan struct{}) ([]SweepPoint, error) {
+// materialized point, plus a streamed point for shard counts > 1. With
+// capacity, each scale additionally runs the capacity-coupled baselines
+// (FaaSCache, LCS) at every shard count through the lockstep arbitration
+// engine, budgeted at the scale's SPES MaxLoaded. stop aborts between
+// shards (SIGINT/SIGTERM).
+func runSweep(scales, shardCounts []int, seed int64, capacity bool, stop <-chan struct{}) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, n := range scales {
 		s := experiments.SparseSettings(n, seed)
+		spesMaxLoaded := 0
 		for _, shards := range shardCounts {
 			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d materialized...\n", n, shards)
 			pt := SweepPoint{
@@ -385,6 +401,7 @@ func runSweep(scales, shardCounts []int, seed int64, stop <-chan struct{}) ([]Sw
 			pt.FullSimMs = msSince(simStart)
 			pt.HeapPeakBytes, pt.HeapAfterBytes = watch.Finish()
 			pt.ColdStarts, pt.WMT, pt.MaxLoaded = res.TotalColdStarts, res.TotalWMT, res.MaxLoaded
+			spesMaxLoaded = res.MaxLoaded
 			// Drop the materialized workload so the streamed point's baseline
 			// GC (inside memwatch.Watch) can collect it: its residency must
 			// not pollute the streamed peak.
@@ -418,6 +435,72 @@ func runSweep(scales, shardCounts []int, seed int64, stop <-chan struct{}) ([]Sw
 					n, shards, st.ColdStarts, pt.ColdStarts, st.WMT, pt.WMT)
 			}
 			out = append(out, st)
+		}
+		if capacity {
+			pts, err := runCapacityRows(s, n, spesMaxLoaded, shardCounts, seed, stop)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pts...)
+		}
+	}
+	return out, nil
+}
+
+// runCapacityRows measures the capacity-coupled baselines at one sweep
+// scale: FaaSCache and LCS, materialized, per shard count (shard counts > 1
+// run the lockstep arbitration engine; all counts must report identical
+// results — the sweep doubles as an equivalence check, like the
+// materialized/streamed pair above). The warm-pool budget is the
+// same-scale SPES point's MaxLoaded, the comparison convention of
+// internal/experiments: every policy gets the memory SPES actually used.
+// No cache is attached — capacity-coupled shard outcomes are not cacheable
+// (sim.ErrCapacityCoupled) — and each point regenerates its own workload
+// so generation residency stays attributed to the point that pays it.
+func runCapacityRows(s experiments.Settings, n, spesMaxLoaded int, shardCounts []int, seed int64, stop <-chan struct{}) ([]SweepPoint, error) {
+	pool := spesMaxLoaded
+	if pool < 1 {
+		pool = 1
+	}
+	var out []SweepPoint
+	for _, pol := range []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"FaaSCache", func() sim.Policy { return baselines.NewFaaSCache(pool) }},
+		{"LCS", func() sim.Policy { return baselines.NewLCS(pool) }},
+	} {
+		var first *SweepPoint
+		for _, shards := range shardCounts {
+			fmt.Fprintf(os.Stderr, "benchjson: sweep n=%d shards=%d %s (capacity=%d) materialized...\n", n, shards, pol.name, pool)
+			pt := SweepPoint{
+				Functions: n, Days: s.Days, TrainDays: s.TrainDays,
+				Seed: seed, Shards: shards, Mode: "materialized",
+				Policy: pol.name, Capacity: pool,
+			}
+			watch := memwatch.Watch()
+			genStart := time.Now()
+			_, train, simTr, err := experiments.BuildWorkload(s)
+			if err != nil {
+				return nil, err
+			}
+			pt.GenerateMs = msSince(genStart)
+			simStart := time.Now()
+			res, err := sim.Run(pol.mk(), train, simTr, sim.Options{Shards: shards, Stop: stop})
+			if err != nil {
+				return nil, err
+			}
+			pt.FullSimMs = msSince(simStart)
+			pt.HeapPeakBytes, pt.HeapAfterBytes = watch.Finish()
+			pt.ColdStarts, pt.WMT, pt.MaxLoaded = res.TotalColdStarts, res.TotalWMT, res.MaxLoaded
+			if first == nil {
+				p := pt
+				first = &p
+			} else if pt.ColdStarts != first.ColdStarts || pt.WMT != first.WMT || pt.MaxLoaded != first.MaxLoaded {
+				return nil, fmt.Errorf("benchjson: %s n=%d shards=%d diverged from shards=%d (cold %d/%d wmt %d/%d)",
+					pol.name, n, shards, first.Shards, pt.ColdStarts, first.ColdStarts, pt.WMT, first.WMT)
+			}
+			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -670,6 +753,7 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated population sizes for the full-simulation scale sweep (empty: skip)")
 	sweepShards := flag.String("sweepShards", "1,4", "comma-separated shard counts per sweep scale (counts > 1 also run streamed)")
 	sweepSeed := flag.Int64("sweepSeed", 1, "sweep workload seed")
+	sweepCapacity := flag.Bool("sweepCapacity", false, "add the capacity-coupled baselines (FaaSCache, LCS) to every -sweep scale and shard count, budgeted at the scale's SPES MaxLoaded; shard counts > 1 run the lockstep arbitration engine and must match shards=1 bit for bit")
 	mega := flag.Bool("mega", false, "add one very-large-population streamed sweep point (see -megaFunctions/-megaShards/-megaScenario); off in the CI smoke sweep, on when regenerating a committed baseline")
 	megaFunctions := flag.Int("megaFunctions", 1_000_000, "population size of the -mega point")
 	megaShards := flag.Int("megaShards", 16, "shard count of the -mega point")
@@ -778,7 +862,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(scales) > 0 {
-		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed, stop)
+		snap.Sweep, err = runSweep(scales, shardCounts, *sweepSeed, *sweepCapacity, stop)
 		if err != nil {
 			fail("sweep", err)
 		}

@@ -33,6 +33,14 @@
 //
 //	go run ./cmd/eqvcheck -functions 400 -shards 4 -stream -faults 7
 //
+// -capacity additionally checks the capacity-arbitrated sharded engine:
+// FaaSCache and LCS (whose global memory budget couples every function to
+// every other) run unsharded and under shard counts {2, 5, 16} — plus the
+// streamed engine at -shards when -stream is set — and every sharded run
+// must be bit-identical to the unsharded reference:
+//
+//	go run ./cmd/eqvcheck -capacity -stream -shards 4
+//
 // -streamonly is the memory-guard mode: it never materializes a trace —
 // only streamed engines run, at -shards and 2x -shards, compared against
 // each other — so peak residency stays O(n/shards) and -maxheap can bound
@@ -49,6 +57,7 @@ import (
 	"os"
 	"reflect"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
@@ -80,6 +89,7 @@ func run() error {
 	scenario := flag.String("scenario", "", "run the checks over a non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave) positioned at the -traindays split (empty: stationary)")
 	retrain := flag.Int("retrain", 0, "enable SPES online re-categorization every this many slots in every engine under comparison (0: off)")
 	faultSeed := flag.Int64("faults", 0, "non-zero: run the -stream checks under deterministic injected faults with this schedule seed; completed runs must stay bit-identical to the clean dense reference")
+	capCheck := flag.Bool("capacity", false, "additionally check the capacity-arbitrated sharded engine: FaaSCache and LCS under shard counts {2, 5, 16} (and streamed at -shards with -stream) must be bit-identical to their unsharded runs")
 	flag.Parse()
 
 	// Flag validation up front: every bad combination must come back as an
@@ -104,6 +114,11 @@ func run() error {
 	}
 	if *minDiskHits > 0 && !*stream {
 		return fmt.Errorf("-mindiskhits needs -stream (the disk cache only runs there)")
+	}
+	if *streamOnly && *capCheck {
+		// The capacity engine holds every shard resident for its lockstep
+		// barrier, so it cannot run under the O(n/P) residency guard.
+		return fmt.Errorf("-capacity cannot be combined with -streamonly (capacity arbitration is lockstep: all shards stay resident)")
 	}
 	if *streamOnly && (*stream || *cacheDir != "" || *minDiskHits > 0) {
 		// The streamonly branch never touches the disk cache; accepting
@@ -303,6 +318,11 @@ func run() error {
 				return fmt.Errorf("seed %d: restart pass stats %+v, want %d disk hits (entries did not survive)", seed, st, *shards)
 			}
 		}
+		if *capCheck {
+			if err := checkCapacity(s, seed, train, simTr, *stream, *shards, *workers); err != nil {
+				return err
+			}
+		}
 		fmt.Printf("seed %d: identical (cold=%d wmt=%d mem=%d)\n",
 			seed, rd.TotalColdStarts, rd.TotalWMT, rd.TotalMemory)
 	}
@@ -321,6 +341,63 @@ func run() error {
 		}
 	}
 	return checkHeap(watch, *maxHeap)
+}
+
+// checkCapacity runs the -capacity pass for one seed: FaaSCache and LCS —
+// the capacity-coupled baselines, which shard through the arbitrated
+// lockstep engine rather than as independent instances — simulated
+// unsharded and at shard counts {2, 5, 16} (plus streamed at -shards when
+// -stream is set), every sharded run compared bit-for-bit against the
+// unsharded reference. The pool capacity is a third of the population:
+// small enough that evictions happen constantly, large enough that loaded
+// functions also idle (so WMT and EMCR are non-degenerate).
+func checkCapacity(s experiments.Settings, seed int64, train, simTr *trace.Trace, stream bool, shards, workers int) error {
+	pool := train.NumFunctions() / 3
+	if pool < 1 {
+		pool = 1
+	}
+	mks := []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"FaaSCache", func() sim.Policy { return baselines.NewFaaSCache(pool) }},
+		{"LCS", func() sim.Policy { return baselines.NewLCS(pool) }},
+	}
+	for _, m := range mks {
+		ref, err := sim.Run(m.mk(), train, simTr, sim.Options{})
+		if err != nil {
+			return err
+		}
+		if ref.TotalColdStarts == 0 || ref.TotalWMT == 0 {
+			return fmt.Errorf("seed %d: %s capacity reference is degenerate (cold=%d wmt=%d); the -capacity pass would prove nothing",
+				seed, m.name, ref.TotalColdStarts, ref.TotalWMT)
+		}
+		for _, p := range []int{2, 5, 16} {
+			rc, err := sim.Run(m.mk(), train, simTr, sim.Options{Shards: p, Workers: workers})
+			if err != nil {
+				return err
+			}
+			if err := compare(fmt.Sprintf("seed %d: %s capacity x%d", seed, m.name, p), ref, rc); err != nil {
+				return err
+			}
+		}
+		if stream {
+			src, err := experiments.StreamSource(s, shards)
+			if err != nil {
+				return err
+			}
+			rc, err := sim.RunStreamed(m.mk(), src, sim.Options{Workers: workers})
+			if err != nil {
+				return err
+			}
+			if err := compare(fmt.Sprintf("seed %d: %s capacity streamed x%d", seed, m.name, shards), ref, rc); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("seed %d: %s capacity (pool=%d) identical across shard counts (cold=%d wmt=%d mem=%d)\n",
+			seed, m.name, pool, ref.TotalColdStarts, ref.TotalWMT, ref.TotalMemory)
+	}
+	return nil
 }
 
 // runStreamed simulates SPES over the settings' workload through the

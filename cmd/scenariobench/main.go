@@ -110,8 +110,10 @@ func runScenario(name string, functions, days, trainDays int, seed int64, shards
 		return err
 	}
 
-	// All tabulated policies are shardable, so one workload serves both the
-	// materialized and the streamed engine.
+	// All tabulated policies run under Shards > 1 — the per-function ones as
+	// independent shard instances, the capacity-coupled ones (FaaSCache,
+	// LCS, added below) through the lockstep arbitration engine — so one
+	// workload serves both the materialized and the streamed engine.
 	opts := sim.Options{Shards: shards}
 	var train, simTr *trace.Trace
 	if stream {
@@ -153,6 +155,23 @@ func runScenario(name string, functions, days, trainDays int, seed int64, shards
 		}
 		results = append(results, rr)
 		labels = append(labels, fmt.Sprintf("SPES+retrain/%d", retrainEvery))
+	}
+
+	// The capacity-coupled baselines ride after the main rows: their warm
+	// pool budget is the SPES row's MaxLoaded (the memory SPES actually
+	// used, the convention of internal/experiments), which is only known
+	// once the SPES row has run.
+	pool := results[0].MaxLoaded
+	if pool < 1 {
+		pool = 1
+	}
+	for _, p := range []sim.Policy{baselines.NewFaaSCache(pool), baselines.NewLCS(pool)} {
+		r, err := sim.Run(p, train, simTr, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		labels = append(labels, fmt.Sprintf("%s/cap=%d", r.Policy, pool))
 	}
 
 	fmt.Printf("scenario: %s | %d functions | %d train + %d sim days | seed %d\n",

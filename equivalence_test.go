@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -142,10 +143,10 @@ func TestSPESEventEngineEquivalence(t *testing.T) {
 	}
 }
 
-// TestShardedBaselineEquivalence runs every shardable baseline under
-// Options.Shards and requires the merged result to match its unsharded run,
-// and asserts the capacity-coupled policies refuse sharded execution rather
-// than silently changing behaviour.
+// TestShardedBaselineEquivalence runs every baseline under Options.Shards
+// and requires the merged result to match its unsharded run — including the
+// capacity-coupled policies (FaaSCache, LCS), which used to refuse sharding
+// and now run under the capacity-arbitrated engine.
 func TestShardedBaselineEquivalence(t *testing.T) {
 	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(5))
 	if err != nil {
@@ -156,6 +157,8 @@ func TestShardedBaselineEquivalence(t *testing.T) {
 		func() sim.Policy { return baselines.NewHybridFunction(baselines.DefaultHybridConfig()) },
 		func() sim.Policy { return baselines.NewHybridApplication(baselines.DefaultHybridConfig()) },
 		func() sim.Policy { return baselines.NewDefuse(baselines.DefaultDefuseConfig()) },
+		func() sim.Policy { return baselines.NewFaaSCache(30) },
+		func() sim.Policy { return baselines.NewLCS(30) },
 	}
 	for _, mk := range mks {
 		ref, err := sim.Run(mk(), train, simTr, sim.Options{})
@@ -170,14 +173,107 @@ func TestShardedBaselineEquivalence(t *testing.T) {
 			assertSameResult(t, fmt.Sprintf("%s x%d", ref.Policy, shards), ref, got)
 		}
 	}
+}
 
-	for _, capPolicy := range []sim.Policy{
-		baselines.NewFaaSCache(30),
-		baselines.NewLCS(30),
-	} {
-		if _, err := sim.Run(capPolicy, train, simTr, sim.Options{Shards: 2}); err == nil {
-			t.Errorf("%s: sharded run must be refused (global capacity)", capPolicy.Name())
+// TestCapacityShardedEquivalence is the dedicated matrix for the capacity-
+// arbitrated engine: FaaSCache and LCS across shard counts {2, 5, 16},
+// scenarios {steady, drift, flashcrowd}, and three seeds must merge to
+// Results bit-identical to their unsharded runs — which are themselves
+// pinned to the dense accounting scan — and the streamed engine must agree
+// too (capacity sources materialize all shards up front, but the entry
+// point still has to work).
+func TestCapacityShardedEquivalence(t *testing.T) {
+	mks := []func(capacity int) sim.Policy{
+		func(capacity int) sim.Policy { return baselines.NewFaaSCache(capacity) },
+		func(capacity int) sim.Policy { return baselines.NewLCS(capacity) },
+	}
+	for _, scenario := range []string{"steady", "drift", "flashcrowd"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			s := eqvSettings(seed)
+			if err := s.ApplyScenario(scenario); err != nil {
+				t.Fatal(err)
+			}
+			_, train, simTr, err := experiments.BuildWorkload(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := experiments.StreamSource(s, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A third of the population: small enough that evictions are
+			// constant, large enough that loaded functions also idle (so the
+			// WMT/EMCR paths are non-degenerate, which the guard asserts).
+			capacity := train.NumFunctions() / 3
+			for _, mk := range mks {
+				label := func(engine string) string {
+					return fmt.Sprintf("%s %s seed %d: %s", mk(capacity).Name(), scenario, seed, engine)
+				}
+				dense, err := sim.Run(scanOnly{mk(capacity)}, train, simTr, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dense.TotalColdStarts == 0 || dense.TotalWMT == 0 {
+					t.Fatalf("%s: degenerate workload: %+v", label("dense"), dense)
+				}
+				ref, err := sim.Run(mk(capacity), train, simTr, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, label("unsharded vs dense"), dense, ref)
+				for _, shards := range []int{2, 5, 16} {
+					got, err := sim.Run(mk(capacity), train, simTr, sim.Options{Shards: shards})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResult(t, label(fmt.Sprintf("sharded x%d", shards)), ref, got)
+				}
+				streamed, err := sim.RunStreamed(mk(capacity), src, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResult(t, label("streamed x5"), ref, streamed)
+			}
 		}
+	}
+}
+
+// TestCapacityShardingContracts pins the error contracts around the
+// capacity engine: a policy implementing neither sharding interface refuses
+// with sim.ErrNotShardable (surviving RunAll's per-policy wrapping, whose
+// other results stay usable), and a ShardCache attached to a capacity run
+// is refused with a structured CapacityCacheError rather than silently
+// bypassed.
+func TestCapacityShardingContracts(t *testing.T) {
+	_, train, simTr, err := experiments.BuildWorkload(eqvSettings(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// scanOnly hides every optional interface, including ShardedPolicy.
+	_, err = sim.Run(scanOnly{baselines.NewFixedKeepAlive(10)}, train, simTr, sim.Options{Shards: 2})
+	if !errors.Is(err, sim.ErrNotShardable) {
+		t.Errorf("unshardable policy: got %v, want errors.Is ErrNotShardable", err)
+	}
+
+	results, err := sim.RunAll(
+		[]sim.Policy{scanOnly{baselines.NewFixedKeepAlive(10)}, baselines.NewFixedKeepAlive(10)},
+		train, simTr, sim.Options{Shards: 2})
+	if !errors.Is(err, sim.ErrNotShardable) {
+		t.Errorf("RunAll: got %v, want errors.Is ErrNotShardable", err)
+	}
+	if results[0] != nil || results[1] == nil {
+		t.Errorf("RunAll partial results: got [%v, %v], want [nil, result]", results[0], results[1])
+	}
+
+	_, err = sim.Run(baselines.NewFaaSCache(30), train, simTr,
+		sim.Options{Shards: 2, Cache: sim.NewShardCache()})
+	if !errors.Is(err, sim.ErrCapacityCoupled) {
+		t.Errorf("cached capacity run: got %v, want errors.Is ErrCapacityCoupled", err)
+	}
+	var cce *sim.CapacityCacheError
+	if !errors.As(err, &cce) || cce.Policy != "FaaSCache" {
+		t.Errorf("cached capacity run: got %v, want CapacityCacheError for FaaSCache", err)
 	}
 }
 

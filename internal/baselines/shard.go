@@ -7,10 +7,11 @@ import "repro/internal/sim"
 // function's app/user component: FixedKeepAlive and HybridFunction are
 // purely per-function, HybridApplication aggregates per application (apps
 // never cross shards), and Defuse mines dependencies within applications
-// and keeps per-function histograms. FaaSCache and LCS deliberately do NOT
-// implement the interface — their global capacity couples every function to
-// every other, so per-shard instances with the same capacity would evict
-// differently than one global instance.
+// and keeps per-function histograms. FaaSCache and LCS do NOT implement the
+// interface — their global capacity couples every function to every other,
+// so INDEPENDENT per-shard instances would evict differently than one
+// global instance. They shard through the capacity-arbitrated engine
+// instead (sim.CapacityPolicy; see capacity.go).
 
 // NewShard implements sim.ShardedPolicy.
 func (p *FixedKeepAlive) NewShard() sim.Policy {
@@ -30,11 +31,11 @@ func (p *Hybrid) NewShard() sim.Policy {
 // NewShard implements sim.ShardedPolicy.
 func (p *Defuse) NewShard() sim.Policy { return NewDefuse(p.cfg) }
 
-// Shard-cache support (sim.ConfigHasher), for the same set of policies:
-// only sharded runs are cacheable, so the capacity-coupled policies that
-// refuse sharding do not implement it. Each hash covers the policy's
-// complete behaviour-affecting configuration via sim.HashConfig, so adding
-// a config field invalidates old cache entries automatically.
+// Shard-cache support (sim.ConfigHasher), for the same set of policies
+// (the capacity-coupled baselines hash in capacity.go). Each hash covers
+// the policy's complete behaviour-affecting configuration via
+// sim.HashConfig, so adding a config field invalidates old cache entries
+// automatically.
 
 // ConfigHash implements sim.ConfigHasher. The engine choice is part of the
 // hash even though both engines produce bit-identical results: cache entries

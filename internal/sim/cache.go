@@ -168,6 +168,21 @@ func (c *ShardCache) AttachManifest(m *SweepManifest) {
 	c.manifest = m
 }
 
+// vetPolicy refuses capacity-coupled policies: their per-shard outcomes
+// depend on cross-shard state (the global budget and the shared clock), so
+// the cache's (policy, config, trace fingerprint, slots) key does not
+// determine a shard's outcome and caching would serve wrong results. The
+// capacity engine calls this before running whenever a cache is attached;
+// the refusal is loud (CapacityCacheError wrapping ErrCapacityCoupled)
+// rather than a silent bypass, so a sweep misconfigured to cache a capacity
+// baseline fails visibly instead of quietly losing its incrementality.
+func (c *ShardCache) vetPolicy(p Policy) error {
+	if _, ok := p.(CapacityPolicy); ok {
+		return &CapacityCacheError{Policy: p.Name()}
+	}
+	return nil
+}
+
 // lookup returns the cached entry for key, counting a hit or miss. The
 // in-memory tier is consulted first; on a miss with a disk tier attached,
 // the entry is restored from disk (outside the lock — disk reads must not

@@ -21,6 +21,21 @@ import (
 // resume — completed units replay from the manifest/cache.
 var ErrInterrupted = errors.New("sim: run interrupted")
 
+// ErrNotShardable is the sentinel wrapped by the refusal a sharded or
+// streamed run returns when its policy implements neither ShardedPolicy
+// (independent per-shard instances) nor CapacityPolicy (shard-local scoring
+// under global arbitration). Callers branch on it with errors.Is — it also
+// survives RunAll's per-policy wrapping — typically to fall back to an
+// unsharded run rather than report a failure.
+var ErrNotShardable = errors.New("sim: policy not shardable")
+
+// ErrCapacityCoupled is the sentinel under CapacityCacheError: a ShardCache
+// was attached to a capacity-arbitrated run, whose per-shard outcomes are
+// not independently keyable (see DESIGN.md "Cross-shard capacity
+// arbitration"). The refusal is explicit rather than a silent bypass
+// because a silently ignored cache would mask a misconfigured sweep.
+var ErrCapacityCoupled = errors.New("sim: capacity-coupled shard outcomes are not cacheable")
+
 // transientError marks an error as transient: worth retrying, because a
 // repeat of the same operation may succeed (I/O hiccups, injected faults,
 // resource exhaustion). Errors not so marked are classified deterministic —

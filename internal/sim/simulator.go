@@ -31,7 +31,9 @@ type Options struct {
 	// per shard concurrently, merging the per-shard results into a Result
 	// bit-identical to the unsharded run. 0 or 1 selects the classic
 	// single-population engine. Shards > 1 requires the policy to implement
-	// ShardedPolicy.
+	// ShardedPolicy (or CapacityPolicy, which selects the lockstep
+	// capacity-arbitrated engine); anything else refuses with an error
+	// wrapping ErrNotShardable.
 	Shards int
 
 	// Workers caps how many simulations (policy runs in RunAll, shard runs
@@ -45,7 +47,9 @@ type Options struct {
 	// Run and RunAll ignore their trace arguments and stream per-shard views
 	// from it (sugar for RunStreamed). Shard views are produced inside the
 	// worker that simulates them, so peak residency is O(n/P) event series
-	// per in-flight worker. The policy must implement ShardedPolicy.
+	// per in-flight worker. The policy must implement ShardedPolicy (or
+	// CapacityPolicy — whose lockstep engine keeps all shards resident, see
+	// capacity.go).
 	Source Source
 
 	// Cache, when non-nil, memoizes per-shard outcomes across sharded runs:
@@ -129,7 +133,9 @@ func (o Options) workers() int {
 // nothing outside that function's app/user component (the partitioning
 // invariant of trace.PartitionFunctions): per-function timers and histograms
 // qualify, app- or user-scoped correlation qualifies, global capacity
-// limits (FaaSCache, LCS) do not — sharding would change their evictions.
+// limits (FaaSCache, LCS) do not — independent per-shard instances would
+// change their evictions. Those policies implement CapacityPolicy instead
+// and run under the capacity-arbitrated engine (capacity.go).
 type ShardedPolicy interface {
 	NewShard() Policy
 }
@@ -304,7 +310,7 @@ func runOne(policy Policy, training, simTrace *trace.Trace, opts Options, log *s
 // never the full trace. The merge is identical to the materialized sharded
 // engine's, so results are bit-identical to Run over the equivalent trace
 // pair (the equivalence tests assert it). The policy must implement
-// ShardedPolicy, even for a single-shard source.
+// ShardedPolicy (or CapacityPolicy), even for a single-shard source.
 func RunStreamed(policy Policy, src Source, opts Options) (*Result, error) {
 	if src == nil {
 		return nil, fmt.Errorf("sim: nil source")
@@ -346,9 +352,16 @@ func runSharded(policy Policy, training, simTrace *trace.Trace, opts Options) (*
 //     values from the integer sums, applying the exact formulas (and float
 //     summation order: slot 0, 1, 2, ...) of the unsharded loop.
 func runShardedSrc(policy Policy, src Source, opts Options) (*Result, error) {
+	// Capacity-coupled policies (FaaSCache, LCS) cannot run as independent
+	// shard instances; they get the lockstep arbitrated engine instead. A
+	// policy implementing both interfaces is capacity-coupled first — the
+	// arbitrated protocol subsumes the independent one.
+	if cp, ok := policy.(CapacityPolicy); ok {
+		return runCapacitySharded(cp, src, opts)
+	}
 	sp, ok := policy.(ShardedPolicy)
 	if !ok {
-		return nil, fmt.Errorf("sim: policy %s does not implement sim.ShardedPolicy; run it with Options.Shards <= 1", policy.Name())
+		return nil, fmt.Errorf("%w: %s implements neither sim.ShardedPolicy nor sim.CapacityPolicy; run it with Options.Shards <= 1", ErrNotShardable, policy.Name())
 	}
 	p := src.NumShards()
 	slots := src.Slots()

@@ -77,6 +77,13 @@ type (
 	// ShardedPolicy is implemented by policies that can run one instance
 	// per population shard (SPES, FixedKeepAlive, both Hybrids, Defuse).
 	ShardedPolicy = sim.ShardedPolicy
+	// CapacityPolicy is implemented by policies whose sharded execution
+	// needs global capacity arbitration (FaaSCache, LCS): shard-local
+	// scorers under one global eviction arbiter, bit-identical to the
+	// unsharded run.
+	CapacityPolicy = sim.CapacityPolicy
+	// CapacityShard is the shard-local scorer a CapacityPolicy yields.
+	CapacityShard = sim.CapacityShard
 	// TraceShard is one shard of a workload: a self-contained Trace over a
 	// subset of functions plus the mapping back to global FuncIDs.
 	TraceShard = trace.ShardView
@@ -152,6 +159,17 @@ func Run(policy Policy, training, simTrace *Trace, opts Options) (*Result, error
 func RunAll(policies []Policy, training, simTrace *Trace, opts Options) ([]*Result, error) {
 	return sim.RunAll(policies, training, simTrace, opts)
 }
+
+// Sentinel errors of the sharded engine, matchable with errors.Is through
+// Run and RunAll's wrapping.
+var (
+	// ErrNotShardable reports a policy that implements neither
+	// ShardedPolicy nor CapacityPolicy under Options.Shards > 1.
+	ErrNotShardable = sim.ErrNotShardable
+	// ErrCapacityCoupled reports a shard cache attached to a
+	// capacity-arbitrated run, whose shard outcomes are not cacheable.
+	ErrCapacityCoupled = sim.ErrCapacityCoupled
+)
 
 // Baseline constructors (the paper's comparison points).
 
