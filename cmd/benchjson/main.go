@@ -27,6 +27,13 @@
 // cache over the same directory, recording what a sweep costs a restarted
 // process (every shard outcome must restore from disk).
 //
+// -ingest runs the real-trace ingestion benchmark: an Azure-format CSV is
+// streamed into a temp columnar shard store (cold — external partition,
+// columnar encode, CRC), the store is reopened from its manifest (warm —
+// the CSV is never parsed again), and the full policy table is simulated
+// straight from the store's verified shard files, with the
+// capacity-coupled baselines budgeted at the SPES row's MaxLoaded.
+//
 // -serve runs the serving-mode benchmark: an in-process spes-serve daemon
 // (internal/serve, journal + snapshots in a temp dir) ingests a flash-crowd
 // replay over real HTTP, once nominally and once with the decision deadline
@@ -97,6 +104,124 @@ type Snapshot struct {
 	Sweep      []SweepPoint       `json:"scale_sweep,omitempty"`
 	CacheSweep []CacheSweepResult `json:"sweep_cache,omitempty"`
 	Serve      []ServeResult      `json:"serve,omitempty"`
+	Ingest     *IngestResult      `json:"ingest,omitempty"`
+}
+
+// IngestResult records the real-trace ingestion benchmark: one Azure-format
+// CSV streamed into a fresh columnar shard store (cold — external partition
+// plus columnar encode plus CRC), the store reopened from its manifest
+// (warm — the CSV is never parsed again; WarmOpenMs/ColdIngestMs is the
+// parse-skip win every later simulation of the same trace collects), and
+// the policy table simulated straight from the store's verified shard
+// files. The capacity-coupled rows (FaaSCache, LCS) are budgeted at the
+// SPES row's MaxLoaded, the comparison convention of internal/experiments.
+type IngestResult struct {
+	CSV          string            `json:"csv"`
+	Functions    int               `json:"functions"`
+	Shards       int               `json:"shards"`
+	Slots        int               `json:"slots"`
+	TrainDays    int               `json:"train_days"`
+	Events       int64             `json:"events"`
+	SpillRuns    int               `json:"spill_runs"`
+	StoreBytes   int64             `json:"store_bytes"`
+	ColdIngestMs float64           `json:"cold_ingest_ms"`
+	WarmOpenMs   float64           `json:"warm_open_ms"`
+	Policies     []IngestPolicyRow `json:"policies"`
+}
+
+// IngestPolicyRow is one policy simulated over the stored real trace
+// (sim.RunStreamed over trace.StoreSource: one verified shard file per
+// worker, O(n/shards) residency).
+type IngestPolicyRow struct {
+	Policy     string  `json:"policy"`
+	Capacity   int     `json:"capacity,omitempty"`
+	SimMs      float64 `json:"sim_ms"`
+	ColdStarts int64   `json:"cold_starts"`
+	WMT        int64   `json:"wmt"`
+	MaxLoaded  int     `json:"max_loaded"`
+}
+
+// runIngestBench measures the columnar shard store end to end over a real
+// (or tracegen-written) Azure-format CSV: cold ingest into a temp store,
+// warm reopen, then the policy table streamed from the store.
+func runIngestBench(csvPath string, shards, trainDays int) (*IngestResult, error) {
+	dir, err := os.MkdirTemp("", "benchingest-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: ingest %s cold (%d shards)...\n", csvPath, shards)
+	coldStart := time.Now()
+	_, stats, err := trace.IngestCSV(f, dir, trace.IngestOptions{Shards: shards})
+	coldMs := msSince(coldStart)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	warmStart := time.Now()
+	st, err := trace.OpenStore(dir)
+	warmMs := msSince(warmStart)
+	if err != nil {
+		return nil, err
+	}
+	splitAt := trainDays * 1440
+	if splitAt <= 0 || splitAt >= st.Slots() {
+		return nil, fmt.Errorf("-ingestTrainDays %d out of range for a %d-slot trace", trainDays, st.Slots())
+	}
+	src, err := st.Source(splitAt)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &IngestResult{
+		CSV: filepath.Base(csvPath), Functions: stats.Functions, Shards: stats.Shards,
+		Slots: stats.Slots, TrainDays: trainDays, Events: stats.Events,
+		SpillRuns: stats.SpillRuns, StoreBytes: stats.StoreBytes,
+		ColdIngestMs: coldMs, WarmOpenMs: warmMs,
+	}
+	row := func(p sim.Policy, capacity int) (*sim.Result, error) {
+		fmt.Fprintf(os.Stderr, "benchjson: ingest policy %s...\n", p.Name())
+		start := time.Now()
+		res, err := sim.RunStreamed(p, src, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("policy %s over the store: %w", p.Name(), err)
+		}
+		r.Policies = append(r.Policies, IngestPolicyRow{
+			Policy: res.Policy, Capacity: capacity, SimMs: msSince(start),
+			ColdStarts: res.TotalColdStarts, WMT: res.TotalWMT, MaxLoaded: res.MaxLoaded,
+		})
+		return res, nil
+	}
+	spes, err := row(core.New(core.DefaultConfig()), 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []sim.Policy{
+		baselines.NewFixedKeepAlive(10),
+		baselines.NewHybridFunction(baselines.DefaultHybridConfig()),
+		baselines.NewHybridApplication(baselines.DefaultHybridConfig()),
+		baselines.NewDefuse(baselines.DefaultDefuseConfig()),
+	} {
+		if _, err := row(p, 0); err != nil {
+			return nil, err
+		}
+	}
+	pool := spes.MaxLoaded
+	if pool < 1 {
+		pool = 1
+	}
+	for _, p := range []sim.Policy{baselines.NewFaaSCache(pool), baselines.NewLCS(pool)} {
+		if _, err := row(p, pool); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // SweepPoint is one full-simulation measurement of the scale sweep: SPES
@@ -762,6 +887,9 @@ func main() {
 	cacheShards := flag.Int("cacheShards", 8, "shard count for the sweep-cache measurement")
 	cacheDir := flag.String("cacheDir", "", "back the -cacheSweep cache with this on-disk entry directory: the sweep runs streamed, journals completed units to <dir>/sweep.journal (kill + rerun resumes), and adds a warm-after-restart pass (fresh in-memory cache, same directory)")
 	serveBench := flag.Bool("serve", false, "add the serving-mode benchmark: an in-process spes-serve daemon ingesting a flash-crowd replay over HTTP, nominal and under forced decision-shedding, recording decision-latency percentiles, events/sec, and shed counters")
+	ingestCSV := flag.String("ingest", "", "add the real-trace ingestion benchmark: stream this Azure-format CSV into a temp columnar shard store (cold), reopen it (warm), and record the policy table simulated from the store (empty: skip)")
+	ingestShards := flag.Int("ingestShards", 4, "store shard count for the -ingest benchmark")
+	ingestTrainDays := flag.Int("ingestTrainDays", 3, "training days of the -ingest trace; the rest simulate")
 	faults := flag.Int64("faults", 0, "non-zero: run the -cacheSweep under deterministic injected faults (disk I/O faults, worker panics, slow shards) with this schedule seed; a completed run must stay bit-identical to a clean one")
 	shardDelayMs := flag.Int("shardDelayMs", 0, "artificial delay in ms before every shard simulation (stretches the -cacheSweep so a test can kill it mid-run)")
 	panicShard := flag.Int("panicShard", -1, "force one worker panic on this shard's first attempt during the -cacheSweep (crash-isolation smoke)")
@@ -786,6 +914,12 @@ func main() {
 		// Shard counts < 1 would run the sweep uncached (or trip the
 		// restart assertion) while still recording a "cache" measurement.
 		fmt.Fprintf(os.Stderr, "benchjson: -cacheShards must be >= 1, got %d\n", *cacheShards)
+		os.Exit(1)
+	}
+	if *ingestCSV != "" && (*ingestShards < 2 || *ingestTrainDays < 1) {
+		// The store exists for the sharded streamed engine; a 1-shard ingest
+		// would record a table the equivalence suite never exercises.
+		fmt.Fprintf(os.Stderr, "benchjson: -ingest needs -ingestShards >= 2 and -ingestTrainDays >= 1, got %d / %d\n", *ingestShards, *ingestTrainDays)
 		os.Exit(1)
 	}
 
@@ -878,6 +1012,12 @@ func main() {
 		snap.Serve, err = runServeBench(*sweepSeed)
 		if err != nil {
 			fail("serve benchmark", err)
+		}
+	}
+	if *ingestCSV != "" {
+		snap.Ingest, err = runIngestBench(*ingestCSV, *ingestShards, *ingestTrainDays)
+		if err != nil {
+			fail("ingest benchmark", err)
 		}
 	}
 	if len(cacheScales) > 0 {

@@ -49,6 +49,18 @@
 //
 //	go run ./cmd/eqvcheck -streamonly -functions 100000 -sparse -shards 16 \
 //	    -seeds 1 -maxheap 268435456
+//
+// -ingest <csv> is the real-trace equivalence mode: the named Azure-format
+// CSV is materialized with trace.ReadCSV AND ingested into a temporary
+// columnar shard store (trace.IngestCSV), and SPES plus a baseline run over
+// both — unsharded materialized, sharded materialized, cold store-sourced,
+// and warm store-sourced (a fresh OpenStore, proving the re-read path) —
+// with every result compared bit-for-bit. A shard-cache pass over the
+// store source then asserts the store's content fingerprints actually key
+// the cache (second pass: all in-memory hits). Generation flags are
+// ignored; -traindays/-shards/-workers apply:
+//
+//	go run ./cmd/eqvcheck -ingest testdata/azure_sample.csv -traindays 3
 package main
 
 import (
@@ -90,7 +102,21 @@ func run() error {
 	retrain := flag.Int("retrain", 0, "enable SPES online re-categorization every this many slots in every engine under comparison (0: off)")
 	faultSeed := flag.Int64("faults", 0, "non-zero: run the -stream checks under deterministic injected faults with this schedule seed; completed runs must stay bit-identical to the clean dense reference")
 	capCheck := flag.Bool("capacity", false, "additionally check the capacity-arbitrated sharded engine: FaaSCache and LCS under shard counts {2, 5, 16} (and streamed at -shards with -stream) must be bit-identical to their unsharded runs")
+	ingestCSV := flag.String("ingest", "", "real-trace mode: check this Azure-format CSV through materialized, sharded, and columnar-store (cold + warm) paths for bit-identity; generation flags are ignored")
 	flag.Parse()
+
+	if *ingestCSV != "" {
+		if *stream || *streamOnly || *capCheck || *scenario != "" || *faultSeed != 0 || *retrain != 0 || *cacheDir != "" || *minDiskHits != 0 {
+			return fmt.Errorf("-ingest is a self-contained mode; it cannot be combined with -stream, -streamonly, -capacity, -scenario, -faults, -retrain, -cachedir, or -mindiskhits")
+		}
+		if *shards < 2 {
+			return fmt.Errorf("-ingest needs -shards >= 2 (a green run must actually exercise the store partition), got %d", *shards)
+		}
+		if *trainDays <= 0 {
+			return fmt.Errorf("-traindays must be positive, got %d", *trainDays)
+		}
+		return runIngestCheck(*ingestCSV, *trainDays, *shards, *workers, *maxHeap)
+	}
 
 	// Flag validation up front: every bad combination must come back as an
 	// error with exit code 1, never as a library panic's stack trace.
@@ -341,6 +367,120 @@ func run() error {
 		}
 	}
 	return checkHeap(watch, *maxHeap)
+}
+
+// runIngestCheck is the -ingest mode: one real (or sample) CSV checked for
+// bit-identity across every path that can serve it — ReadCSV materialized
+// (unsharded and sharded), a cold columnar-store ingest, and a warm store
+// reopen — plus a store-sourced shard-cache pass whose second run must be
+// served entirely from memory (the store fingerprints key the cache).
+func runIngestCheck(path string, trainDays, shards, workers int, maxHeap uint64) error {
+	watch := memwatch.Watch()
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	full, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	splitAt := trainDays * 1440
+	if splitAt <= 0 || splitAt >= full.Slots {
+		return fmt.Errorf("-traindays %d out of range for a %d-slot trace", trainDays, full.Slots)
+	}
+	train, simTr := full.Split(splitAt)
+
+	dir, err := os.MkdirTemp("", "eqvcheck-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	f, err = os.Open(path)
+	if err != nil {
+		return err
+	}
+	st, stats, err := trace.IngestCSV(f, dir, trace.IngestOptions{Shards: shards})
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %s: %d functions x %d slots, %d events, %d shards, %d bytes\n",
+		path, stats.Functions, stats.Slots, stats.Events, stats.Shards, stats.StoreBytes)
+	src, err := st.Source(splitAt)
+	if err != nil {
+		return err
+	}
+
+	var spesRef *sim.Result
+	for _, m := range []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"SPES", func() sim.Policy { return core.New(core.DefaultConfig()) }},
+		{"FixedKeepAlive", func() sim.Policy { return baselines.NewFixedKeepAlive(10) }},
+	} {
+		ref, err := sim.Run(m.mk(), train, simTr, sim.Options{})
+		if err != nil {
+			return err
+		}
+		if m.name == "SPES" {
+			spesRef = ref
+		}
+		rs, err := sim.Run(m.mk(), train, simTr, sim.Options{Shards: shards, Workers: workers})
+		if err != nil {
+			return err
+		}
+		if err := compare(fmt.Sprintf("%s: sharded x%d", m.name, shards), ref, rs); err != nil {
+			return err
+		}
+		rc, err := sim.RunStreamed(m.mk(), src, sim.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		if err := compare(fmt.Sprintf("%s: store (cold) x%d", m.name, shards), ref, rc); err != nil {
+			return err
+		}
+		fmt.Printf("%s: materialized, sharded, and store-sourced identical (cold=%d wmt=%d mem=%d)\n",
+			m.name, ref.TotalColdStarts, ref.TotalWMT, ref.TotalMemory)
+	}
+
+	// Warm path: a fresh OpenStore (manifest re-verified, shard files
+	// re-read) must reproduce the same results without the CSV.
+	st2, err := trace.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	src2, err := st2.Source(splitAt)
+	if err != nil {
+		return err
+	}
+	rw, err := sim.RunStreamed(core.New(core.DefaultConfig()), src2, sim.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if err := compare(fmt.Sprintf("SPES: store (warm reopen) x%d", shards), spesRef, rw); err != nil {
+		return err
+	}
+
+	// Cache pass: the store's fingerprints must key the shard cache — the
+	// second run over the same source is served entirely from memory.
+	cache := sim.NewShardCache()
+	cache.SetBudget(0, 0)
+	for _, label := range []string{"cold", "warm"} {
+		rc, err := sim.RunStreamed(core.New(core.DefaultConfig()), src2, sim.Options{Workers: workers, Cache: cache})
+		if err != nil {
+			return err
+		}
+		if err := compare(fmt.Sprintf("SPES: store cached (%s) x%d", label, shards), spesRef, rc); err != nil {
+			return err
+		}
+	}
+	if cst := cache.Stats(); cst.Hits != int64(shards) || cst.Misses != int64(shards) {
+		return fmt.Errorf("store cache stats %+v, want exactly %d misses then %d in-memory hits (are store fingerprints keying the cache?)", cst, shards, shards)
+	}
+	fmt.Printf("store: warm reopen and fingerprint-keyed cache identical\n")
+	return checkHeap(watch, maxHeap)
 }
 
 // checkCapacity runs the -capacity pass for one seed: FaaSCache and LCS —

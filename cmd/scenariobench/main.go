@@ -17,6 +17,13 @@
 // runs every tabulated policy through the streamed engine (O(n/shards)
 // residency) instead of materialized shards; results are identical either
 // way.
+//
+// -store replaces the scenario library with a real trace: it prints the
+// same policy table over a columnar shard store built by tracegen -ingest
+// (or spes-sim -store -trace), streaming one verified shard file per
+// worker and never opening the CSV. -train-days positions the split:
+//
+//	scenariobench -store ./azstore -train-days 3
 package main
 
 import (
@@ -51,7 +58,30 @@ func run() error {
 	stream := flag.Bool("stream", false, "run the tabulated policies through the streamed engine (never materializes the trace pair)")
 	retrainEvery := flag.Int("retrain-every", 1440, "the SPES+retrain row re-categorizes every this many slots (0 drops the row)")
 	check := flag.Bool("check", false, "per scenario, assert dense == sharded == streamed SPES results bit-identically")
+	storeDir := flag.String("store", "", "columnar shard store directory (tracegen -ingest): tabulate the policies over the stored real trace instead of the scenario library; -train-days positions the split")
 	flag.Parse()
+
+	if *storeDir != "" {
+		// Store mode replaces the generated workload wholesale: the trace's
+		// dimensions and shard count come from the store manifest, so every
+		// generation knob is either meaningless or contradictory here.
+		if *scenarios != "all" {
+			return fmt.Errorf("-scenarios transforms the generated workload; it cannot be combined with -store")
+		}
+		if *stream {
+			return fmt.Errorf("-store already streams shard files; -stream is implied")
+		}
+		if *check {
+			return fmt.Errorf("-check needs the generated workload's dense reference; for store equivalence run eqvcheck -ingest")
+		}
+		if *trainDays <= 0 {
+			return fmt.Errorf("-train-days must be positive, got %d", *trainDays)
+		}
+		if *retrainEvery < 0 {
+			return fmt.Errorf("-retrain-every must be >= 0, got %d", *retrainEvery)
+		}
+		return runStore(*storeDir, *trainDays, *retrainEvery)
+	}
 
 	if *functions <= 0 {
 		return fmt.Errorf("-functions must be positive, got %d", *functions)
@@ -131,14 +161,7 @@ func runScenario(name string, functions, days, trainDays int, seed int64, shards
 		}
 	}
 
-	policies := []sim.Policy{
-		core.New(core.DefaultConfig()),
-		baselines.NewFixedKeepAlive(10),
-		baselines.NewHybridFunction(baselines.DefaultHybridConfig()),
-		baselines.NewHybridApplication(baselines.DefaultHybridConfig()),
-		baselines.NewDefuse(baselines.DefaultDefuseConfig()),
-	}
-	results, err := sim.RunAll(policies, train, simTr, opts)
+	results, err := sim.RunAll(basePolicies(), train, simTr, opts)
 	if err != nil {
 		return err
 	}
@@ -176,6 +199,33 @@ func runScenario(name string, functions, days, trainDays int, seed int64, shards
 
 	fmt.Printf("scenario: %s | %d functions | %d train + %d sim days | seed %d\n",
 		name, functions, trainDays, days-trainDays, seed)
+	renderPolicyTable(labels, results)
+
+	if check {
+		if err := checkEngines(s, train, simTr, shards); err != nil {
+			return err
+		}
+		fmt.Printf("engines agree: dense == sharded x%d == streamed x%d (SPES, bit-identical)\n", shards, shards)
+	}
+	return nil
+}
+
+// basePolicies is the per-function policy row set shared by the scenario
+// and store tables; the capacity-coupled baselines (FaaSCache, LCS) ride
+// after them because their budget is the SPES row's MaxLoaded.
+func basePolicies() []sim.Policy {
+	return []sim.Policy{
+		core.New(core.DefaultConfig()),
+		baselines.NewFixedKeepAlive(10),
+		baselines.NewHybridFunction(baselines.DefaultHybridConfig()),
+		baselines.NewHybridApplication(baselines.DefaultHybridConfig()),
+		baselines.NewDefuse(baselines.DefaultDefuseConfig()),
+	}
+}
+
+// renderPolicyTable prints the shared metric table, one labeled row per
+// result.
+func renderPolicyTable(labels []string, results []*sim.Result) {
 	tab := report.NewTable("Policy", "ColdStarts", "CSR", "Q3-CSR", "WMT(min)", "MeanLoaded", "PeakLoaded")
 	for i, r := range results {
 		tab.AddRow(labels[i],
@@ -187,13 +237,63 @@ func runScenario(name string, functions, days, trainDays int, seed int64, shards
 			fmt.Sprint(r.MaxLoaded))
 	}
 	tab.Render(os.Stdout)
+}
 
-	if check {
-		if err := checkEngines(s, train, simTr, shards); err != nil {
+// runStore simulates every policy over a columnar shard store's real trace
+// (one verified shard file per worker; the originating CSV is never opened)
+// and prints the same table the scenario mode does. The capacity-coupled
+// baselines are budgeted at the SPES row's MaxLoaded — the memory SPES
+// actually used, the convention of internal/experiments.
+func runStore(dir string, trainDays, retrainEvery int) error {
+	st, err := trace.OpenStore(dir)
+	if err != nil {
+		return fmt.Errorf("opening store: %w (build it with tracegen -ingest)", err)
+	}
+	splitAt := trainDays * 1440
+	if splitAt >= st.Slots() {
+		return fmt.Errorf("-train-days %d out of range for a %d-slot store", trainDays, st.Slots())
+	}
+	src, err := st.Source(splitAt)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{Source: src}
+
+	results, err := sim.RunAll(basePolicies(), nil, nil, opts)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(results))
+	for i, r := range results {
+		labels[i] = r.Policy
+	}
+	if retrainEvery > 0 {
+		ro := opts
+		ro.RetrainEvery = retrainEvery
+		rr, err := sim.Run(core.New(core.DefaultConfig()), nil, nil, ro)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("engines agree: dense == sharded x%d == streamed x%d (SPES, bit-identical)\n", shards, shards)
+		results = append(results, rr)
+		labels = append(labels, fmt.Sprintf("SPES+retrain/%d", retrainEvery))
 	}
+
+	pool := results[0].MaxLoaded
+	if pool < 1 {
+		pool = 1
+	}
+	for _, p := range []sim.Policy{baselines.NewFaaSCache(pool), baselines.NewLCS(pool)} {
+		r, err := sim.Run(p, nil, nil, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		labels = append(labels, fmt.Sprintf("%s/cap=%d", r.Policy, pool))
+	}
+
+	fmt.Printf("store: %s | %d functions | %d shards | %d train + %d sim minutes\n",
+		dir, st.NumFunctions(), st.NumShards(), splitAt, st.Slots()-splitAt)
+	renderPolicyTable(labels, results)
 	return nil
 }
 

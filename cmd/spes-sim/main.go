@@ -14,9 +14,18 @@
 // enables SPES's online re-categorization against it:
 //
 //	spes-sim -policy spes -scenario churn -retrain-every 1440
+//
+// -store simulates straight from a columnar shard store (built with
+// tracegen -ingest), reading one verified shard file per worker and never
+// touching the CSV — the warm path for real traces. When the store is
+// missing and -trace names a CSV, the CSV is ingested first (cold path)
+// and the store is left behind for the next run:
+//
+//	spes-sim -policy spes -store ./azstore -trace invocations.csv -train-days 12
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +58,7 @@ func run() error {
 	scenario := flag.String("scenario", "", "non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave) positioned at the -train-days split; requires a generated workload (no -trace)")
 	retrainEvery := flag.Int("retrain-every", 0, "re-run the policy's categorization online every this many simulated slots over a sliding history window (policies without online re-categorization — everything but SPES — run unchanged); 0 disables")
 	retrainWindow := flag.Int("retrain-window", 0, "sliding window length in slots for -retrain-every (0: the training window length)")
+	storeDir := flag.String("store", "", "columnar shard store directory: simulate from the store (warm, CSV never opened); when the store is absent and -trace is set, ingest the CSV into it first (-shards sets the partition width)")
 	flag.Parse()
 
 	// Flag validation up front: bad values must come back as errors with
@@ -72,6 +82,12 @@ func run() error {
 	if *scenario != "" && *tracePath != "" {
 		return fmt.Errorf("-scenario transforms the generated workload; it cannot be combined with -trace")
 	}
+	if *storeDir != "" && *stream {
+		return fmt.Errorf("-store already streams shard files; it cannot be combined with -stream")
+	}
+	if *storeDir != "" && *scenario != "" {
+		return fmt.Errorf("-scenario transforms the generated workload; it cannot be combined with -store")
+	}
 	if *retrainEvery < 0 || *retrainWindow < 0 {
 		return fmt.Errorf("-retrain-every and -retrain-window must be >= 0, got %d / %d", *retrainEvery, *retrainWindow)
 	}
@@ -90,9 +106,41 @@ func run() error {
 
 	var full *trace.Trace
 	var train, simTr *trace.Trace
+	var src *trace.StoreSource
 	var err error
 	n := *functions
-	if *stream {
+	if *storeDir != "" {
+		st, err := trace.OpenStore(*storeDir)
+		switch {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "spes-sim: store: warm load from %s (%d shards, %d functions; CSV not opened)\n",
+				*storeDir, st.NumShards(), st.NumFunctions())
+		case errors.Is(err, trace.ErrStoreCorrupt) && *tracePath != "":
+			f, ferr := os.Open(*tracePath)
+			if ferr != nil {
+				return ferr
+			}
+			var stats *trace.IngestStats
+			st, stats, err = trace.IngestCSV(f, *storeDir, trace.IngestOptions{Shards: *shards})
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "spes-sim: store: cold ingest of %s into %s (%d functions, %d events, %d shards)\n",
+				*tracePath, *storeDir, stats.Functions, stats.Events, stats.Shards)
+		default:
+			return fmt.Errorf("opening store: %w (build it with -trace <csv> or tracegen -ingest)", err)
+		}
+		splitAt := *trainDays * 1440
+		if splitAt <= 0 || splitAt >= st.Slots() {
+			return fmt.Errorf("-train-days %d out of range for a %d-slot store", *trainDays, st.Slots())
+		}
+		src, err = st.Source(splitAt)
+		if err != nil {
+			return err
+		}
+		n = st.NumFunctions()
+	} else if *stream {
 		// The trace pair is never materialized here: shard views are
 		// produced by the simulation workers themselves.
 		if *trainDays <= 0 || *trainDays >= *days {
@@ -158,13 +206,15 @@ func run() error {
 	// contention are meaningless), so it is only taken on unsharded,
 	// unstreamed runs — -shards exists to exercise the concurrent engine.
 	opts := sim.Options{
-		MeasureOverhead: !*stream && *shards <= 1,
+		MeasureOverhead: !*stream && src == nil && *shards <= 1,
 		Shards:          *shards,
 		RetrainEvery:    *retrainEvery,
 		RetrainWindow:   *retrainWindow,
 	}
 	var res *sim.Result
-	if *stream {
+	if src != nil {
+		res, err = sim.RunStreamed(policy, src, opts)
+	} else if *stream {
 		cfg := trace.DefaultGeneratorConfig(*functions, *days, *seed)
 		cfg.Scenario = scenarioCfg
 		src := &sim.GeneratorSource{

@@ -35,6 +35,14 @@
 //
 //	tracegen -functions 2000 -days 14 -train-days 12 -scenario churn \
 //	    -o sim.csv -train-o train.csv
+//
+// -ingest switches the command from generating to ingesting: it streams an
+// existing Azure-format CSV (arbitrarily large; - for stdin) into the
+// columnar shard store at -store, partitioned into -shards app/user-closed
+// shards, so later simulations (spes-sim -store, examples/azurereplay)
+// skip the CSV parse entirely:
+//
+//	tracegen -ingest invocations.csv -store ./azstore -shards 8
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -59,7 +68,39 @@ func main() {
 	scenario := flag.String("scenario", "", "non-stationary library scenario (steady|drift|flashcrowd|churn|deploy-wave), positioned at the -train-days split (empty: stationary)")
 	trainDays := flag.Int("train-days", 0, "when positive, split the trace: write the first train-days days to -train-o and the rest (re-based to slot 0) to -o")
 	trainOut := flag.String("train-o", "train.csv", "training-window CSV path when -train-days is set")
+	ingest := flag.String("ingest", "", "ingest this Azure-format CSV (- for stdin) into the -store directory instead of generating")
+	storeDir := flag.String("store", "", "columnar shard store directory for -ingest")
 	flag.Parse()
+
+	if *ingest != "" {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -ingest needs -store <dir>")
+			os.Exit(1)
+		}
+		if *shards < 1 {
+			fmt.Fprintf(os.Stderr, "tracegen: -shards must be >= 1, got %d\n", *shards)
+			os.Exit(1)
+		}
+		var in io.Reader = os.Stdin
+		if *ingest != "-" {
+			f, err := os.Open(*ingest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		start := time.Now()
+		_, stats, err := trace.IngestCSV(in, *storeDir, trace.IngestOptions{Shards: *shards})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: ingested %d functions x %d slots (%d events, %d spill runs) into %s: %d shards, %d bytes in %v\n",
+			stats.Functions, stats.Slots, stats.Events, stats.SpillRuns, *storeDir, stats.Shards, stats.StoreBytes, time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	// Flag validation up front: bad values must come back as errors with
 	// exit code 1, never surface as library panics (trace.Split and the

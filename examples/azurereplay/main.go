@@ -2,11 +2,22 @@
 // SPES against all five baselines, reporting the Figure 8/9/11 metrics.
 //
 // Point -trace at the real Azure Functions 2019 dataset (day files
-// concatenated) to run the comparison on real data; without it a calibrated
-// synthetic workload is generated.
+// concatenated) to run the comparison on real data. With -store, the first
+// run ingests the CSV into a columnar shard store (one streaming pass,
+// bounded memory) and every later run simulates straight from the store's
+// verified shard files — the CSV is never parsed again:
+//
+//	go run ./examples/azurereplay -trace invocations.csv -store ./azstore -train-days 12
+//	go run ./examples/azurereplay -store ./azstore -train-days 12   # warm: no CSV needed
+//
+// Without -store the CSV is materialized in memory per run; without -trace
+// a calibrated synthetic workload is generated. Store runs stream one shard
+// per worker (spes.RunStreamed); results are bit-identical to the
+// materialized path either way.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -17,37 +28,71 @@ import (
 
 func main() {
 	tracePath := flag.String("trace", "", "Azure-schema CSV (default: synthesize)")
+	storeDir := flag.String("store", "", "columnar shard store directory: ingest -trace into it once, then simulate from it (warm runs need no CSV)")
+	shards := flag.Int("shards", 4, "store shard count for ingestion")
+	trainDays := flag.Int("train-days", 12, "days used for training; the rest simulate")
 	functions := flag.Int("functions", 1500, "synthetic workload size")
 	flag.Parse()
 
-	var full *spes.Trace
-	var err error
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	// runPolicy dispatches to the streamed engine (store runs) or the
+	// materialized one; both produce bit-identical Results.
+	var runPolicy func(p spes.Policy) (*spes.Result, error)
+	if *storeDir != "" {
+		st, err := spes.OpenTraceStore(*storeDir)
+		if err != nil && errors.Is(err, spes.ErrTraceStoreCorrupt) && *tracePath != "" {
+			f, ferr := os.Open(*tracePath)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			var stats *spes.TraceIngestStats
+			st, stats, err = spes.IngestTraceCSV(f, *storeDir, spes.TraceIngestOptions{Shards: *shards})
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("ingested %s: %d functions, %d events into %d shards\n\n",
+				*tracePath, stats.Functions, stats.Events, stats.Shards)
+		} else if err != nil {
+			log.Fatalf("opening store: %v (build it with -trace <csv>)", err)
+		}
+		src, err := st.Source(*trainDays * 1440)
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err = spes.ReadTraceCSV(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		runPolicy = func(p spes.Policy) (*spes.Result, error) {
+			return spes.RunStreamed(p, src, spes.Options{})
 		}
 	} else {
-		full, err = spes.GenerateTrace(spes.DefaultGeneratorConfig(*functions, 14, 7))
-		if err != nil {
-			log.Fatal(err)
+		var full *spes.Trace
+		var err error
+		if *tracePath != "" {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			full, err = spes.ReadTraceCSV(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			full, err = spes.GenerateTrace(spes.DefaultGeneratorConfig(*functions, 14, 7))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		train, simTr := full.Split(*trainDays * 1440)
+		runPolicy = func(p spes.Policy) (*spes.Result, error) {
+			return spes.Run(p, train, simTr, spes.Options{})
 		}
 	}
-	train, simTr := full.Split(12 * 1440)
 
-	// SPES runs first: FaaSCache's memory cap is SPES's peak usage, per the
-	// paper's experiment setup.
-	spesPolicy := spes.NewSPES(spes.DefaultSPESConfig())
-	spesRes, err := spes.Run(spesPolicy, train, simTr, spes.Options{})
+	// SPES runs first: FaaSCache's and LCS's memory cap is SPES's peak
+	// usage, per the paper's experiment setup.
+	spesRes, err := runPolicy(spes.NewSPES(spes.DefaultSPESConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	policies := []spes.Policy{
 		spes.NewDefuse(),
 		spes.NewHybridFunction(),
@@ -58,7 +103,7 @@ func main() {
 	}
 	results := []*spes.Result{spesRes}
 	for _, p := range policies {
-		r, err := spes.Run(p, train, simTr, spes.Options{})
+		r, err := runPolicy(p)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,14 @@
 // one slot is one minute; every execution finishes within its slot; all
 // cold starts cost the same; all instances consume one unit of memory; a
 // single node holds every loaded instance.
+//
+// Beyond the single-trace Run path, the package provides the sharded
+// engine (Options.Shards — bit-identical deterministic merge), the
+// streamed engine (RunStreamed over a Source — the shard as the unit of
+// residency; trace.StoreSource and GeneratorSource both satisfy it),
+// shard-outcome caching (ShardCache, DiskCache, keyed by config hash and
+// trace fingerprint), cross-shard capacity arbitration (CapacityPolicy),
+// and fault-tolerant sweep execution (Sweep, SweepManifest).
 package sim
 
 import "repro/internal/trace"

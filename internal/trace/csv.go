@@ -14,15 +14,22 @@ import (
 // per-minute invocation counts ("1".."1440").
 //
 // The reproduction's generator writes this format so the real trace can be
-// dropped in unchanged, and the reader accepts multi-day concatenation by
-// accumulating rows with the same function hash across day files.
+// dropped in unchanged. Day files are concatenated the way the public
+// dataset ships them — each day section opens with its own header row —
+// and the reader treats header rows as day-section delimiters: within one
+// section a function may appear at most once (a repeat is a corrupt
+// duplicate, rejected with a positional error), across sections its rows
+// accumulate day after day. Header rows themselves are validated: the day
+// columns must be exactly "1".."1440" in order, because a reordered header
+// would silently permute every function's minutes.
 
 const slotsPerDay = 1440
 
 // WriteCSV writes the trace as day-partitioned Azure-schema CSV to w, one
-// day after another (day column ordering matches the public dataset). Days
-// with no invocations for a function still get a row of zeros, as in the
-// original files.
+// day section after another, each opened by its own header row — the shape
+// `cat d01.csv d02.csv ...` of the public dataset produces. Days with no
+// invocations for a function still get a row of zeros, as in the original
+// files.
 func WriteCSV(w io.Writer, tr *Trace) error {
 	cw := csv.NewWriter(w)
 	header := make([]string, 4+slotsPerDay)
@@ -30,13 +37,13 @@ func WriteCSV(w io.Writer, tr *Trace) error {
 	for i := 0; i < slotsPerDay; i++ {
 		header[4+i] = strconv.Itoa(i + 1)
 	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("trace: writing CSV header: %w", err)
-	}
 
 	days := (tr.Slots + slotsPerDay - 1) / slotsPerDay
 	row := make([]string, 4+slotsPerDay)
 	for day := 0; day < days; day++ {
+		if err := cw.Write(header); err != nil {
+			return fmt.Errorf("trace: writing CSV header: %w", err)
+		}
 		lo := int32(day * slotsPerDay)
 		hi := lo + slotsPerDay
 		for fid, f := range tr.Functions {
@@ -58,76 +65,202 @@ func WriteCSV(w io.Writer, tr *Trace) error {
 	return cw.Error()
 }
 
-// ReadCSV parses one or more concatenated Azure-schema day files from r.
-// Rows are keyed by (owner, app, function) so the same function appearing
-// in several day sections accumulates: its n-th appearance contributes
-// slots [n*1440, (n+1)*1440). Repeated headers (from file concatenation)
-// are skipped.
-func ReadCSV(r io.Reader) (*Trace, error) {
+// csvKey identifies a function across day sections. The key is (app,
+// function hash): in the Azure schema an application belongs to exactly one
+// owner, so two rows sharing the key but naming different owners are
+// corrupt input, not two functions — csvStream rejects the inconsistency
+// instead of silently splitting the series.
+type csvKey struct{ app, name string }
+
+// csvFuncState tracks one function across the stream's day sections.
+type csvFuncState struct {
+	id          FuncID
+	user        string
+	trigger     Trigger
+	days        int // day sections contributed so far
+	lastSection int // section of the most recent appearance
+	lastLine    int // line of the most recent appearance
+}
+
+// csvRecord is one parsed data row: the function it belongs to (New marks the
+// first appearance, where the caller should record the metadata) and the
+// row's events with absolute slots (the day base already applied).
+type csvRecord struct {
+	ID      FuncID
+	New     bool
+	Name    string
+	App     string
+	User    string
+	Trigger Trigger
+	Events  []Event // absolute slots; valid until the next call
+	EndSlot int     // exclusive day-section end, (day+1)*1440
+	Line    int
+}
+
+// csvStream is the streaming Azure-schema row reader shared by ReadCSV and
+// IngestCSV: one pass, O(functions) state (metadata and per-function day
+// counters, never event series), with all schema validation — field
+// counts, trigger spellings, count ranges, header column order, duplicate
+// rows, and cross-section owner/trigger consistency — applied row by row
+// with positional errors.
+type csvStream struct {
+	cr      *csv.Reader
+	line    int
+	section int
+	started bool // a header or data row has been consumed
+	funcs   map[csvKey]*csvFuncState
+	nextID  FuncID
+	events  []Event // reused per-row buffer
+}
+
+func newCSVStream(r io.Reader) *csvStream {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1 // validated manually for a better error message
+	return &csvStream{cr: cr, funcs: make(map[csvKey]*csvFuncState)}
+}
 
-	type funcKey struct{ user, app, name string }
-	ids := make(map[funcKey]FuncID)
-	daySeen := make(map[funcKey]int)
-	tr := NewTrace(0)
+// validateHeader checks a header row column by column: the day columns must
+// be exactly "1".."1440" in ascending order. An out-of-order or mislabeled
+// day column would silently permute every row's minutes, so it is rejected
+// with the column position.
+func (s *csvStream) validateHeader(rec []string) error {
+	if len(rec) != 4+slotsPerDay {
+		return fmt.Errorf("trace: CSV line %d: header has %d fields, want %d", s.line, len(rec), 4+slotsPerDay)
+	}
+	for i := 0; i < slotsPerDay; i++ {
+		if want := strconv.Itoa(i + 1); rec[4+i] != want {
+			return fmt.Errorf("trace: CSV line %d: day column %d is %q, want %q (out-of-order or corrupt header)",
+				s.line, i+1, rec[4+i], want)
+		}
+	}
+	return nil
+}
 
-	line := 0
+// Next returns the next data row, or io.EOF at the end of the stream.
+// Header rows are consumed internally: each one after the first opens a new
+// day section.
+func (s *csvStream) Next() (csvRecord, error) {
 	for {
-		rec, err := cr.Read()
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			return csvRecord{}, io.EOF
+		}
+		if err != nil {
+			return csvRecord{}, fmt.Errorf("trace: reading CSV: %w", err)
+		}
+		s.line++
+		if len(rec) > 0 && rec[0] == "HashOwner" {
+			if err := s.validateHeader(rec); err != nil {
+				return csvRecord{}, err
+			}
+			if s.started {
+				s.section++
+			}
+			s.started = true
+			continue
+		}
+		return s.dataRow(rec)
+	}
+}
+
+func (s *csvStream) dataRow(rec []string) (csvRecord, error) {
+	s.started = true
+	if len(rec) != 4+slotsPerDay {
+		return csvRecord{}, fmt.Errorf("trace: CSV line %d has %d fields, want %d", s.line, len(rec), 4+slotsPerDay)
+	}
+	trig, err := ParseTrigger(rec[3])
+	if err != nil {
+		return csvRecord{}, fmt.Errorf("trace: CSV line %d: %w", s.line, err)
+	}
+	key := csvKey{app: rec[1], name: rec[2]}
+	st, ok := s.funcs[key]
+	isNew := !ok
+	if ok {
+		// A function reappearing inside the SAME day section is a duplicate
+		// row, and last-write-wins (or accumulate-within-a-day) would
+		// fabricate a different workload; reappearing with a different owner
+		// or trigger contradicts the schema (one owner per app, one trigger
+		// binding per function hash).
+		if st.lastSection == s.section {
+			return csvRecord{}, fmt.Errorf("trace: CSV line %d: duplicate row for function (app=%s, func=%s) in day section %d (previous at line %d)",
+				s.line, rec[1], rec[2], s.section+1, st.lastLine)
+		}
+		if st.user != rec[0] {
+			return csvRecord{}, fmt.Errorf("trace: CSV line %d: function (app=%s, func=%s) owner %q contradicts %q at line %d",
+				s.line, rec[1], rec[2], rec[0], st.user, st.lastLine)
+		}
+		if st.trigger != trig {
+			return csvRecord{}, fmt.Errorf("trace: CSV line %d: function (app=%s, func=%s) trigger %q contradicts %q at line %d",
+				s.line, rec[1], rec[2], trig, st.trigger, st.lastLine)
+		}
+	} else {
+		st = &csvFuncState{id: s.nextID, user: rec[0], trigger: trig}
+		s.nextID++
+		s.funcs[key] = st
+	}
+	day := st.days
+	st.days++
+	st.lastSection = s.section
+	st.lastLine = s.line
+	base := int32(day * slotsPerDay)
+
+	s.events = s.events[:0]
+	for i := 0; i < slotsPerDay; i++ {
+		v := rec[4+i]
+		if v == "0" || v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return csvRecord{}, fmt.Errorf("trace: CSV line %d slot %d: %w", s.line, i+1, err)
+		}
+		if n < 0 || n > math.MaxInt32 {
+			// The schema's counts are non-negative minute totals; a
+			// negative or int32-overflowing value is corrupt input, and
+			// silently wrapping it would fabricate a different workload.
+			return csvRecord{}, fmt.Errorf("trace: CSV line %d slot %d: count %d outside [0, %d]", s.line, i+1, n, math.MaxInt32)
+		}
+		if n == 0 {
+			continue
+		}
+		s.events = append(s.events, Event{Slot: base + int32(i), Count: int32(n)})
+	}
+	return csvRecord{
+		ID: st.id, New: isNew,
+		Name: rec[2], App: rec[1], User: rec[0], Trigger: trig,
+		Events: s.events, EndSlot: (day + 1) * slotsPerDay, Line: s.line,
+	}, nil
+}
+
+// NumFunctions returns how many distinct functions the stream has seen.
+func (s *csvStream) NumFunctions() int { return int(s.nextID) }
+
+// ReadCSV parses one or more concatenated Azure-schema day files from r
+// into a materialized Trace. Header rows delimit day sections: a function's
+// n-th appearance contributes slots [n*1440, (n+1)*1440), and appearing
+// twice within one section — or with an inconsistent owner or trigger — is
+// rejected with a positional error (see csvStream). For traces too large
+// to materialize, use IngestCSV, which makes the same single pass but
+// spills to an on-disk columnar shard store.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	st := newCSVStream(r)
+	tr := NewTrace(0)
+	for {
+		row, err := st.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading CSV: %w", err)
+			return nil, err
 		}
-		line++
-		if len(rec) > 0 && rec[0] == "HashOwner" {
-			continue // header (possibly repeated by concatenation)
+		if row.New {
+			tr.AddFunction(row.Name, row.App, row.User, row.Trigger, nil)
 		}
-		if len(rec) != 4+slotsPerDay {
-			return nil, fmt.Errorf("trace: CSV line %d has %d fields, want %d", line, len(rec), 4+slotsPerDay)
+		if len(row.Events) > 0 {
+			tr.Series[row.ID] = append(tr.Series[row.ID], row.Events...)
 		}
-		trig, err := ParseTrigger(rec[3])
-		if err != nil {
-			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
-		}
-		key := funcKey{user: rec[0], app: rec[1], name: rec[2]}
-		id, ok := ids[key]
-		if !ok {
-			id = tr.AddFunction(rec[2], rec[1], rec[0], trig, nil)
-			ids[key] = id
-		}
-		day := daySeen[key]
-		daySeen[key] = day + 1
-		base := int32(day * slotsPerDay)
-
-		var events []Event
-		for i := 0; i < slotsPerDay; i++ {
-			v := rec[4+i]
-			if v == "0" || v == "" {
-				continue
-			}
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return nil, fmt.Errorf("trace: CSV line %d slot %d: %w", line, i+1, err)
-			}
-			if n < 0 || n > math.MaxInt32 {
-				// The schema's counts are non-negative minute totals; a
-				// negative or int32-overflowing value is corrupt input, and
-				// silently wrapping it would fabricate a different workload.
-				return nil, fmt.Errorf("trace: CSV line %d slot %d: count %d outside [0, %d]", line, i+1, n, math.MaxInt32)
-			}
-			if n == 0 {
-				continue
-			}
-			events = append(events, Event{Slot: base + int32(i), Count: int32(n)})
-		}
-		if len(events) > 0 {
-			tr.Series[id] = append(tr.Series[id], events...)
-		}
-		if got := (day + 1) * slotsPerDay; got > tr.Slots {
-			tr.Slots = got
+		if row.EndSlot > tr.Slots {
+			tr.Slots = row.EndSlot
 		}
 	}
 

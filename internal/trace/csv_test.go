@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -234,5 +235,78 @@ func TestCSVScenarioRoundTrip(t *testing.T) {
 	if back.TotalInvocations() != tr.TotalInvocations() || back.NumFunctions() != tr.NumFunctions() {
 		t.Errorf("round trip: %d funcs / %d invocations, want %d / %d",
 			back.NumFunctions(), back.TotalInvocations(), tr.NumFunctions(), tr.TotalInvocations())
+	}
+}
+
+// TestReadCSVDuplicateRows asserts a function appearing twice within one
+// day section — with or without an explicit header — is rejected with a
+// positional error instead of silently accumulating or last-write-winning.
+func TestReadCSVDuplicateRows(t *testing.T) {
+	dup := csvRow("u", "a", "f", "http", map[int]string{1: "2"}) +
+		csvRow("u", "a", "f", "http", map[int]string{5: "3"})
+	_, err := ReadCSV(strings.NewReader(dup))
+	if err == nil {
+		t.Fatal("duplicate row accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate") || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q should name the duplicate and its line", err)
+	}
+
+	// The same repetition across two header-delimited day sections is the
+	// normal concatenated-day-files shape and must keep working.
+	tr := NewTrace(slotsPerDay)
+	tr.AddFunction("f", "a", "u", TriggerHTTP, []Event{{Slot: 1, Count: 2}})
+	var day bytes.Buffer
+	if err := WriteCSV(&day, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(strings.NewReader(day.String() + day.String())); err != nil {
+		t.Errorf("cross-section repetition rejected: %v", err)
+	}
+}
+
+// TestReadCSVInconsistentMetadata asserts a function whose owner or trigger
+// changes between day sections is rejected: the schema binds one owner per
+// app and one trigger per function hash, so a change is corrupt input.
+func TestReadCSVInconsistentMetadata(t *testing.T) {
+	tr := NewTrace(slotsPerDay)
+	tr.AddFunction("f", "a", "u1", TriggerHTTP, []Event{{Slot: 1, Count: 2}})
+	var day bytes.Buffer
+	if err := WriteCSV(&day, tr); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(day.String(), "\n", 2)[0] + "\n"
+
+	owner := day.String() + header + csvRow("u2", "a", "f", "http", nil)
+	if _, err := ReadCSV(strings.NewReader(owner)); err == nil || !strings.Contains(err.Error(), "owner") {
+		t.Errorf("owner change: err = %v, want owner contradiction", err)
+	}
+	trig := day.String() + header + csvRow("u1", "a", "f", "timer", nil)
+	if _, err := ReadCSV(strings.NewReader(trig)); err == nil || !strings.Contains(err.Error(), "trigger") {
+		t.Errorf("trigger change: err = %v, want trigger contradiction", err)
+	}
+}
+
+// TestReadCSVOutOfOrderHeader asserts header day columns must be exactly
+// "1".."1440" in order: a permuted or mislabeled header would silently
+// permute every row's minutes, so it is rejected naming the column.
+func TestReadCSVOutOfOrderHeader(t *testing.T) {
+	fields := []string{"HashOwner", "HashApp", "HashFunction", "Trigger"}
+	for i := 1; i <= slotsPerDay; i++ {
+		fields = append(fields, strconv.Itoa(i))
+	}
+	fields[4], fields[5] = fields[5], fields[4] // swap day columns 1 and 2
+	in := strings.Join(fields, ",") + "\n" + csvRow("u", "a", "f", "http", nil)
+	_, err := ReadCSV(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("out-of-order header accepted")
+	}
+	if !strings.Contains(err.Error(), "day column 1") {
+		t.Errorf("error %q should name the first bad column", err)
+	}
+
+	short := strings.Join(fields[:10], ",") + "\n"
+	if _, err := ReadCSV(strings.NewReader(short)); err == nil {
+		t.Error("short header accepted")
 	}
 }

@@ -1,0 +1,380 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Streaming trace ingestion: one pass over an arbitrarily large Azure-format
+// CSV into the columnar shard store, without ever materializing the full
+// trace.
+//
+// The pass keeps O(functions) metadata in memory (the union-find partition
+// needs every function's app and user before shards can be assigned) but
+// never the event series: parsed events accumulate in a bounded buffer and
+// spill to flat run files on disk when it fills. After the pass the
+// canonical app/user-closed partition is computed with the exact same
+// PartitionFunctions call a materialized run uses, the spilled runs are
+// scattered into one spill file per shard, and each shard is then assembled
+// — normalize, fingerprint, encode — one at a time. Peak memory is
+// O(function metadata + buffer budget + largest shard).
+
+// defaultIngestBudget is the in-memory event buffer size before spilling:
+// 4Mi events ≈ 48 MiB. The paper-scale Azure trace (weeks over tens of
+// thousands of apps) spills a handful of runs; toy traces never spill.
+const defaultIngestBudget = 4 << 20
+
+// IngestOptions tunes IngestCSV.
+type IngestOptions struct {
+	// Shards is the partition width P (the store's shard count is fixed at
+	// ingest time). Values < 1 mean 1.
+	Shards int
+	// MaxBufferedEvents bounds the in-memory event buffer; when the buffer
+	// fills, a sorted run spills to disk. Values < 1 mean the 4Mi-event
+	// default. Tests set tiny values to force the spill path.
+	MaxBufferedEvents int
+}
+
+// IngestStats reports what one IngestCSV pass did.
+type IngestStats struct {
+	Functions  int   // distinct functions ingested
+	Shards     int   // store shard count
+	Slots      int   // full trace span in slots (train plus simulation)
+	Events     int64 // sparse events written (invoked minutes)
+	SpillRuns  int   // runs spilled to disk (0 when the buffer sufficed)
+	StoreBytes int64 // total size of the written shard files and manifest
+}
+
+// ingestEvent is one parsed invocation observation tagged with its global
+// function: the unit the spill files hold, 12 bytes encoded.
+type ingestEvent struct {
+	fid   FuncID
+	slot  int32
+	count int32
+}
+
+const ingestRecSize = 12
+
+// IngestCSV streams an Azure-schema CSV from r into a columnar shard store
+// at dir (created if needed), partitioned into opts.Shards app/user-closed
+// shards, and returns the opened store. The partition, the per-function
+// series, and therefore every simulation result downstream are bit-identical
+// to ReadCSV + PartitionFunctions + ShardBy over the same input — IngestCSV
+// consumes the same validating row stream and the same partition call, it
+// just never holds more than one shard's events (plus the spill buffer) in
+// memory.
+//
+// Any existing manifest in dir is removed first, so an ingest that fails
+// midway leaves a directory OpenStore rejects rather than a stale store.
+func IngestCSV(r io.Reader, dir string, opts IngestOptions) (*Store, *IngestStats, error) {
+	p := opts.Shards
+	if p < 1 {
+		p = 1
+	}
+	budget := opts.MaxBufferedEvents
+	if budget < 1 {
+		budget = defaultIngestBudget
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("trace: ingest: %w", err)
+	}
+	// Invalidate any previous store now: shard files are replaced atomically
+	// one by one below, and an old manifest over new shard files would be a
+	// mixed store. Fingerprint verification would catch the mix, but an
+	// unopenable directory states the situation honestly.
+	os.Remove(filepath.Join(dir, manifestName))
+
+	spillDir, err := os.MkdirTemp(dir, ".ingest-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: ingest: %w", err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	// Pass 1: stream rows, collecting metadata and buffering events.
+	st := newCSVStream(r)
+	var (
+		fns    []Function
+		buf    []ingestEvent
+		runs   int
+		slots  int
+		events int64
+	)
+	spillRun := func() error {
+		f, err := os.Create(filepath.Join(spillDir, fmt.Sprintf("run-%06d", runs)))
+		if err != nil {
+			return err
+		}
+		if err := writeIngestRecs(f, buf); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		runs++
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		row, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if row.New {
+			fns = append(fns, Function{ID: row.ID, Name: row.Name, App: row.App, User: row.User, Trigger: row.Trigger})
+		}
+		if row.EndSlot > slots {
+			slots = row.EndSlot
+		}
+		for _, e := range row.Events {
+			buf = append(buf, ingestEvent{fid: row.ID, slot: e.Slot, count: e.Count})
+		}
+		events += int64(len(row.Events))
+		if len(buf) >= budget {
+			if err := spillRun(); err != nil {
+				return nil, nil, fmt.Errorf("trace: ingest: spilling run: %w", err)
+			}
+		}
+	}
+
+	// The canonical partition — the same call, over the same
+	// first-appearance-ordered metadata, as the materialized path.
+	part := PartitionFunctions(fns, p)
+
+	// Scatter: route every spilled run (in spill order, which preserves each
+	// function's day order) plus the residual buffer into one spill file per
+	// shard. When nothing spilled, the buffer is grouped in memory directly.
+	var perShard [][]ingestEvent
+	if runs == 0 {
+		perShard = make([][]ingestEvent, p)
+		for _, e := range buf {
+			sh := part.ShardOf(e.fid)
+			perShard[sh] = append(perShard[sh], e)
+		}
+		buf = nil
+	} else {
+		if err := scatterRuns(spillDir, runs, buf, part, p); err != nil {
+			return nil, nil, fmt.Errorf("trace: ingest: %w", err)
+		}
+		buf = nil
+	}
+
+	// Assemble and write each shard, one at a time.
+	store := &Store{dir: dir, shards: p, functions: len(fns), slots: slots, meta: make([]storeShardMeta, p)}
+	var storeBytes int64
+	for i := 0; i < p; i++ {
+		var evs []ingestEvent
+		if runs == 0 {
+			evs = perShard[i]
+			perShard[i] = nil
+		} else {
+			evs, err = readIngestRecs(filepath.Join(spillDir, shardSpillName(i)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: ingest: shard %d spill: %w", i, err)
+			}
+		}
+		sv, shardEvents := assembleShard(fns, part, i, slots, evs)
+		fp := shardContentFingerprint(sv)
+		data := encodeShardFile(sv, p, shardEvents, fp)
+		if err := writeStoreFile(dir, shardFileName(i), data); err != nil {
+			return nil, nil, fmt.Errorf("trace: ingest: writing shard %d: %w", i, err)
+		}
+		store.meta[i] = storeShardMeta{Functions: len(sv.Functions), Events: shardEvents, ContentFP: fp}
+		storeBytes += int64(len(data))
+	}
+
+	// Manifest last: its atomic rename is the commit point of the ingest.
+	manifest := encodeManifest(store)
+	if err := writeStoreFile(dir, manifestName, manifest); err != nil {
+		return nil, nil, fmt.Errorf("trace: ingest: writing manifest: %w", err)
+	}
+	storeBytes += int64(len(manifest))
+
+	stats := &IngestStats{
+		Functions:  len(fns),
+		Shards:     p,
+		Slots:      slots,
+		Events:     events,
+		SpillRuns:  runs,
+		StoreBytes: storeBytes,
+	}
+	return store, stats, nil
+}
+
+// shardSpillName names shard i's scatter spill file.
+func shardSpillName(i int) string { return fmt.Sprintf("shard-%04d.spill", i) }
+
+// writeIngestRecs appends events to w as flat 12-byte records.
+func writeIngestRecs(w io.Writer, evs []ingestEvent) error {
+	bw := bufio.NewWriterSize(w, 1<<18)
+	var rec [ingestRecSize]byte
+	for _, e := range evs {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.fid))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.slot))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.count))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readIngestRecs reads a whole spill file of flat records. A missing file
+// means the shard received no events.
+func readIngestRecs(path string) ([]ingestEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(data)%ingestRecSize != 0 {
+		return nil, fmt.Errorf("spill file %s has %d trailing bytes", filepath.Base(path), len(data)%ingestRecSize)
+	}
+	out := make([]ingestEvent, len(data)/ingestRecSize)
+	for i := range out {
+		rec := data[i*ingestRecSize:]
+		out[i] = ingestEvent{
+			fid:   FuncID(binary.LittleEndian.Uint32(rec[0:])),
+			slot:  int32(binary.LittleEndian.Uint32(rec[4:])),
+			count: int32(binary.LittleEndian.Uint32(rec[8:])),
+		}
+	}
+	return out, nil
+}
+
+// scatterRuns streams every run file (in spill order) plus the residual
+// in-memory buffer through the partition into one spill file per shard.
+// Writers are buffered, so the scatter is one sequential read of the runs
+// and P sequential writes regardless of trace size.
+func scatterRuns(spillDir string, runs int, residual []ingestEvent, part *Partition, p int) error {
+	outs := make([]*bufio.Writer, p)
+	files := make([]*os.File, p)
+	for i := range outs {
+		f, err := os.Create(filepath.Join(spillDir, shardSpillName(i)))
+		if err != nil {
+			for _, g := range files {
+				if g != nil {
+					g.Close()
+				}
+			}
+			return err
+		}
+		files[i] = f
+		outs[i] = bufio.NewWriterSize(f, 1<<16)
+	}
+	closeAll := func() error {
+		var first error
+		for i, w := range outs {
+			if err := w.Flush(); err != nil && first == nil {
+				first = err
+			}
+			if err := files[i].Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	route := func(e ingestEvent) error {
+		var rec [ingestRecSize]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.fid))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.slot))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(e.count))
+		_, err := outs[part.ShardOf(e.fid)].Write(rec[:])
+		return err
+	}
+
+	for run := 0; run < runs; run++ {
+		f, err := os.Open(filepath.Join(spillDir, fmt.Sprintf("run-%06d", run)))
+		if err != nil {
+			closeAll()
+			return err
+		}
+		br := bufio.NewReaderSize(f, 1<<18)
+		var rec [ingestRecSize]byte
+		for {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				if err == io.EOF {
+					break
+				}
+				f.Close()
+				closeAll()
+				return fmt.Errorf("reading run %d: %w", run, err)
+			}
+			e := ingestEvent{
+				fid:   FuncID(binary.LittleEndian.Uint32(rec[0:])),
+				slot:  int32(binary.LittleEndian.Uint32(rec[4:])),
+				count: int32(binary.LittleEndian.Uint32(rec[8:])),
+			}
+			if err := route(e); err != nil {
+				f.Close()
+				closeAll()
+				return err
+			}
+		}
+		f.Close()
+		// Run files are consumed in order exactly once; removing each after
+		// its scatter halves the spill directory's peak footprint.
+		os.Remove(filepath.Join(spillDir, fmt.Sprintf("run-%06d", run)))
+	}
+	for _, e := range residual {
+		if err := route(e); err != nil {
+			closeAll()
+			return err
+		}
+	}
+	return closeAll()
+}
+
+// assembleShard builds shard i's full (unsplit) view from its scattered
+// events: metadata re-IDed densely in ascending global order (the ShardBy
+// contract) and every series normalized, exactly as ReadCSV + ShardBy
+// produce. Returns the view and its total event count after normalization.
+func assembleShard(fns []Function, part *Partition, i, slots int, evs []ingestEvent) (*ShardView, int64) {
+	members := part.Members(i)
+	local := make(map[FuncID]int32, len(members))
+	for li, g := range members {
+		local[g] = int32(li)
+	}
+
+	// Carve per-function event slices out of one backing array: count, then
+	// fill, preserving arrival order within each function (normalize sorts,
+	// so order only needs to be deterministic, which arrival order is).
+	counts := make([]int32, len(members))
+	for _, e := range evs {
+		counts[local[e.fid]]++
+	}
+	offsets := make([]int32, len(members)+1)
+	for li := range members {
+		offsets[li+1] = offsets[li] + counts[li]
+	}
+	backing := make([]Event, len(evs))
+	fill := make([]int32, len(members))
+	for _, e := range evs {
+		li := local[e.fid]
+		backing[offsets[li]+fill[li]] = Event{Slot: e.slot, Count: e.count}
+		fill[li]++
+	}
+
+	sub := NewTrace(slots)
+	sub.Functions = make([]Function, len(members))
+	sub.Series = make([]Series, len(members))
+	var total int64
+	for li, g := range members {
+		f := fns[g]
+		f.ID = FuncID(li)
+		sub.Functions[li] = f
+		sub.Series[li] = normalize(backing[offsets[li]:offsets[li+1]])
+		total += int64(len(sub.Series[li]))
+	}
+	return &ShardView{Trace: sub, Index: i, Global: members}, total
+}

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// ingestFixture writes a generated trace as CSV and ingests it into a fresh
+// store under t.TempDir, returning the materialized ReadCSV trace (the
+// reference the store must match bit for bit) alongside the store.
+func ingestFixture(t *testing.T, shards, bufferedEvents int) (*Trace, *Store, *IngestStats) {
+	t.Helper()
+	tr := genSmall(t, 120, 2, 21)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.Bytes()
+
+	ref, err := ReadCSV(bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, stats, err := IngestCSV(bytes.NewReader(csv), filepath.Join(t.TempDir(), "store"),
+		IngestOptions{Shards: shards, MaxBufferedEvents: bufferedEvents})
+	if err != nil {
+		t.Fatalf("IngestCSV: %v", err)
+	}
+	return ref, store, stats
+}
+
+// assertShardViewsEqual compares two shard views field by field (ShardView
+// embeds a Trace with unexported memoization state, so DeepEqual on the
+// whole struct would be fragile).
+func assertShardViewsEqual(t *testing.T, label string, got, want *ShardView) {
+	t.Helper()
+	if got.Index != want.Index || got.Slots != want.Slots {
+		t.Fatalf("%s: (index, slots) = (%d, %d), want (%d, %d)", label, got.Index, got.Slots, want.Index, want.Slots)
+	}
+	if !reflect.DeepEqual(got.Global, want.Global) {
+		t.Fatalf("%s: global mapping differs", label)
+	}
+	if !reflect.DeepEqual(got.Functions, want.Functions) {
+		t.Fatalf("%s: function metadata differs", label)
+	}
+	if !reflect.DeepEqual(got.Series, want.Series) {
+		t.Fatalf("%s: series differ", label)
+	}
+}
+
+// TestIngestMatchesMaterialized is the partition-contract test: every shard
+// the store serves must be bit-identical to ReadCSV + PartitionFunctions +
+// ShardBy over the same CSV — in-memory and via the forced spill path.
+func TestIngestMatchesMaterialized(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		buffered int
+	}{
+		{"in-memory", 0},
+		{"spilled", 64}, // force many runs through the external scatter
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const shards = 4
+			ref, store, stats := ingestFixture(t, shards, tc.buffered)
+			if tc.buffered > 0 && stats.SpillRuns == 0 {
+				t.Fatalf("buffer of %d events did not spill", tc.buffered)
+			}
+			if tc.buffered == 0 && stats.SpillRuns != 0 {
+				t.Fatalf("default budget spilled %d runs on a toy trace", stats.SpillRuns)
+			}
+			if stats.Functions != ref.NumFunctions() || stats.Slots != ref.Slots {
+				t.Fatalf("stats = %d funcs / %d slots, want %d / %d",
+					stats.Functions, stats.Slots, ref.NumFunctions(), ref.Slots)
+			}
+
+			part := PartitionFunctions(ref.Functions, shards)
+			for i := 0; i < shards; i++ {
+				got, err := store.ShardTrace(i)
+				if err != nil {
+					t.Fatalf("ShardTrace(%d): %v", i, err)
+				}
+				assertShardViewsEqual(t, store.dir, got, ref.ShardBy(part, i))
+			}
+		})
+	}
+}
+
+// TestStoreSourceSplit asserts Source(trainSlots).Shard returns exactly the
+// split the materialized path produces, and that the source's dimensions
+// follow the sim.Source contract.
+func TestStoreSourceSplit(t *testing.T) {
+	const shards, trainSlots = 3, slotsPerDay
+	ref, store, _ := ingestFixture(t, shards, 0)
+	src, err := store.Source(trainSlots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumShards() != shards || src.NumFunctions() != ref.NumFunctions() || src.Slots() != ref.Slots-trainSlots {
+		t.Fatalf("source dims = (%d, %d, %d), want (%d, %d, %d)",
+			src.NumShards(), src.NumFunctions(), src.Slots(), shards, ref.NumFunctions(), ref.Slots-trainSlots)
+	}
+
+	trainRef, simRef := ref.Split(trainSlots)
+	part := PartitionFunctions(ref.Functions, shards)
+	for i := 0; i < shards; i++ {
+		train, sim, err := src.Shard(i)
+		if err != nil {
+			t.Fatalf("Shard(%d): %v", i, err)
+		}
+		assertShardViewsEqual(t, "train", train, trainRef.ShardBy(part, i))
+		assertShardViewsEqual(t, "sim", sim, simRef.ShardBy(part, i))
+	}
+
+	if _, err := store.Source(-1); err == nil {
+		t.Error("negative train split accepted")
+	}
+	if _, err := store.Source(store.Slots()); err == nil {
+		t.Error("train split consuming the whole trace accepted")
+	}
+}
+
+// TestStoreFingerprints asserts shard fingerprints are distinct across
+// shards and split points, and stable across a reopen — they feed
+// ShardCache/DiskCache keys, so instability would poison caches and
+// collisions would alias entries.
+func TestStoreFingerprints(t *testing.T) {
+	_, store, _ := ingestFixture(t, 3, 0)
+	src, err := store.Source(slotsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for i := 0; i < store.NumShards(); i++ {
+		fp, ok := src.ShardFingerprint(i)
+		if !ok {
+			t.Fatalf("shard %d: no fingerprint", i)
+		}
+		if j, dup := seen[fp]; dup {
+			t.Fatalf("shards %d and %d share fingerprint %016x", j, i, fp)
+		}
+		seen[fp] = i
+	}
+
+	other, err := store.Source(slotsPerDay / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := src.ShardFingerprint(0); func() bool { b, _ := other.ShardFingerprint(0); return a == b }() {
+		t.Error("different train splits share a fingerprint")
+	}
+
+	reopened, err := OpenStore(store.Dir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	src2, err := reopened.Source(slotsPerDay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < store.NumShards(); i++ {
+		a, _ := src.ShardFingerprint(i)
+		b, _ := src2.ShardFingerprint(i)
+		if a != b {
+			t.Fatalf("shard %d fingerprint changed across reopen", i)
+		}
+	}
+}
+
+// TestStoreCorruptionDegrades is the torn-file test: every corruption — a
+// flipped byte anywhere, a truncated shard file, a truncated or missing
+// manifest, a missing shard file, a version skew — must surface as an error
+// wrapping ErrStoreCorrupt with no shard content, never a wrong shard.
+func TestStoreCorruptionDegrades(t *testing.T) {
+	_, store, _ := ingestFixture(t, 2, 0)
+	shardPath := filepath.Join(store.Dir(), shardFileName(0))
+	pristine, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(shardPath, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	expectCorrupt := func(label string) {
+		t.Helper()
+		st, err := OpenStore(store.Dir())
+		if err != nil {
+			if !errors.Is(err, ErrStoreCorrupt) {
+				t.Fatalf("%s: OpenStore error %v does not wrap ErrStoreCorrupt", label, err)
+			}
+			return
+		}
+		sv, err := st.ShardTrace(0)
+		if err == nil {
+			t.Fatalf("%s: corrupt shard decoded successfully", label)
+		}
+		if !errors.Is(err, ErrStoreCorrupt) {
+			t.Fatalf("%s: error %v does not wrap ErrStoreCorrupt", label, err)
+		}
+		if sv != nil {
+			t.Fatalf("%s: error AND shard content returned", label)
+		}
+	}
+
+	// Flipped bytes: header, column payloads, footer — sampled across the
+	// whole file so every verification layer gets exercised.
+	for _, off := range []int{0, 9, 40, len(pristine) / 3, len(pristine) / 2, len(pristine) - 6, len(pristine) - 1} {
+		mutated := append([]byte(nil), pristine...)
+		mutated[off] ^= 0x40
+		if err := os.WriteFile(shardPath, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectCorrupt("flip at " + string(rune('0'+off%10)))
+	}
+
+	// Torn writes: every truncation length must fail, including cutting
+	// inside the header, a column block, and the footer.
+	for _, n := range []int{0, 7, 30, len(pristine) / 4, len(pristine) - 4, len(pristine) - 1} {
+		if err := os.WriteFile(shardPath, pristine[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectCorrupt("truncate")
+	}
+	restore()
+
+	// A missing shard file fails at open (the manifest names it).
+	if err := os.Remove(shardPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(store.Dir()); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("missing shard file: OpenStore error %v does not wrap ErrStoreCorrupt", err)
+	}
+	restore()
+
+	// Manifest corruption and absence fail at open.
+	manifestPath := filepath.Join(store.Dir(), manifestName)
+	manifest, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manifestPath, manifest[:len(manifest)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(store.Dir()); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("truncated manifest: OpenStore error %v does not wrap ErrStoreCorrupt", err)
+	}
+	if err := os.Remove(manifestPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(store.Dir()); !errors.Is(err, ErrStoreCorrupt) {
+		t.Fatalf("missing manifest: OpenStore error %v does not wrap ErrStoreCorrupt", err)
+	}
+}
+
+// TestIngestReplacesStore asserts re-ingesting into the same directory
+// yields a fresh consistent store (the manifest is the commit point).
+func TestIngestReplacesStore(t *testing.T) {
+	tr := genSmall(t, 60, 2, 7)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.Bytes()
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, _, err := IngestCSV(bytes.NewReader(csv), dir, IngestOptions{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-ingest with a different shard count: the old manifest must not
+	// survive alongside, and the new store must verify end to end.
+	store, _, err := IngestCSV(bytes.NewReader(csv), dir, IngestOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumShards() != 2 {
+		t.Fatalf("shards = %d, want 2", store.NumShards())
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := store.ShardTrace(i); err != nil {
+			t.Fatalf("shard %d after re-ingest: %v", i, err)
+		}
+	}
+}
+
+// TestIngestEmptyCSV documents the degenerate case: an empty input ingests
+// to an empty but openable store.
+func TestIngestEmptyCSV(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	store, stats, err := IngestCSV(bytes.NewReader(nil), dir, IngestOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Functions != 0 || stats.Events != 0 || store.NumFunctions() != 0 {
+		t.Fatalf("empty ingest produced %d functions / %d events", stats.Functions, stats.Events)
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatalf("empty store does not reopen: %v", err)
+	}
+}

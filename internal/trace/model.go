@@ -1,7 +1,10 @@
 // Package trace models serverless invocation workloads: function metadata
 // (trigger type, owning application and user), per-minute invocation series,
-// train/simulation splitting, and CSV I/O compatible with the Microsoft
-// Azure Functions 2019 trace schema.
+// train/simulation splitting, CSV I/O compatible with the Microsoft Azure
+// Functions 2019 trace schema, app/user-closed population sharding
+// (PartitionFunctions), and a columnar on-disk shard store (IngestCSV,
+// Store, StoreSource) so real traces are parsed once and simulated many
+// times at O(functions/shards) residency.
 //
 // The real Azure trace is not redistributable, so the package also provides
 // a calibrated synthetic generator (generator.go) that reproduces the

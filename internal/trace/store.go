@@ -1,0 +1,742 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The columnar shard store: the on-disk format IngestCSV produces and
+// StoreSource serves. A store directory holds one file per app/user-closed
+// shard plus a manifest, so re-running a simulation over a real trace skips
+// the CSV parse entirely — the warm path reads only the shard files it is
+// about to simulate.
+//
+// Robustness rule (same as sim.DiskCache): a store read may only ever
+// produce bit-exact shard content or an error — never a wrong shard. Every
+// file carries a versioned magic header, a CRC-32C per column block, and a
+// whole-file CRC-32C footer; a truncated, bit-flipped, version-skewed, or
+// structurally inconsistent file fails verification with an error wrapping
+// ErrStoreCorrupt, and the caller's remedy is to re-ingest the CSV. Writes
+// stage through temp files and atomic renames, with the manifest written
+// last, so a crash mid-ingest leaves a directory that fails OpenStore
+// rather than a store missing shards.
+//
+// Shard file layout (all integers little-endian):
+//
+//	magic[8] | version u32 | shard u32 | shards u32 | slots u32 |
+//	functions u32 | events u64 | contentFP u64 |
+//	column blocks | footer magic[8] | file CRC-32C u32
+//
+// Each column block is `id u32 | length u64 | payload | CRC-32C u32` with a
+// fixed id sequence (globals, names, apps, users, triggers, series lengths,
+// event slots, event counts). App, user, and trigger labels are
+// dictionary-encoded — the Azure trace repeats each app hash once per
+// function and each trigger label thousands of times — with an index width
+// (1, 2, or 4 bytes) both sides derive from the dictionary size. Event
+// slots and counts are flat int32 columns across all of the shard's
+// functions, delimited by the series-length column.
+const (
+	storeMagic       = "SPESCOL\x00"
+	storeFooterMagic = "SPESEND\x00"
+	storeManifestTag = "SPESMAN\x00"
+	storeVersion     = uint32(1)
+	manifestName     = "manifest.spm"
+	storeTmpPattern  = ".tmp-store-*"
+)
+
+// Column block ids, in file order.
+const (
+	colGlobals = uint32(iota + 1)
+	colNames
+	colApps
+	colUsers
+	colTriggers
+	colSeriesLens
+	colEventSlots
+	colEventCounts
+	numColumns = iota
+)
+
+// storeCastagnoli is the CRC-32C table for block and file checksums
+// (hardware-accelerated, so warm loads are not checksum-bound).
+var storeCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrStoreCorrupt reports a columnar store that failed verification —
+// truncated, bit-flipped, version-skewed, or structurally inconsistent.
+// Callers match it with errors.Is and degrade to re-ingesting the CSV; a
+// failed verification never yields shard content.
+var ErrStoreCorrupt = errors.New("trace: columnar shard store corrupt or incomplete (re-ingest the CSV)")
+
+// storeFP computes the store fingerprint domains. Domain tags are distinct
+// from sim's "trace-content"/"generator-derivation" fingerprints, so store
+// cache entries can never alias materialized or generated ones.
+const (
+	fpDomainContent = "store-content\x00" // whole-shard content hash, stored in the file
+	fpDomainShard   = "store-shard\x00"   // (content, split) hash served to caches
+)
+
+// shardFileName returns shard i's file name within a store directory.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.spc", i) }
+
+// shardContentFingerprint hashes a full (unsplit) shard: slot span, the
+// local-to-global id mapping, per-function metadata, and every event. Two
+// shards may share a fingerprint only if they are bit-identical, which is
+// what lets StoreSource feed sim.ShardCache/DiskCache keys for real traces.
+func shardContentFingerprint(sv *ShardView) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, fpDomainContent)
+	hashU64(h, uint64(sv.Slots))
+	hashU64(h, uint64(len(sv.Functions)))
+	for li, f := range sv.Functions {
+		hashU64(h, uint64(sv.Global[li]))
+		io.WriteString(h, f.Name)
+		h.Write([]byte{0})
+		io.WriteString(h, f.App)
+		h.Write([]byte{0})
+		io.WriteString(h, f.User)
+		h.Write([]byte{0, byte(f.Trigger)})
+		s := sv.Series[li]
+		hashU64(h, uint64(len(s)))
+		var buf [8]byte
+		for _, e := range s {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(e.Slot))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(e.Count))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func hashU64(h io.Writer, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// colBuf is a tiny append-only encoder; decoding mirrors it with the
+// bounds-checked colReader cursor.
+type colBuf struct{ b []byte }
+
+func (e *colBuf) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *colBuf) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *colBuf) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dictIndexWidth returns the byte width of a dictionary index, derived from
+// the dictionary size identically by encoder and decoder.
+func dictIndexWidth(dictLen int) int {
+	switch {
+	case dictLen <= 1<<8:
+		return 1
+	case dictLen <= 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// encodeDictColumn dictionary-encodes one label per function: the distinct
+// labels in first-appearance order, then fixed-width indices.
+func encodeDictColumn(labels []string) []byte {
+	var dict []string
+	idx := make(map[string]uint32)
+	for _, s := range labels {
+		if _, ok := idx[s]; !ok {
+			idx[s] = uint32(len(dict))
+			dict = append(dict, s)
+		}
+	}
+	e := &colBuf{}
+	e.u32(uint32(len(dict)))
+	for _, s := range dict {
+		e.str(s)
+	}
+	e.u32(uint32(len(labels)))
+	w := dictIndexWidth(len(dict))
+	for _, s := range labels {
+		v := idx[s]
+		switch w {
+		case 1:
+			e.b = append(e.b, uint8(v))
+		case 2:
+			e.b = binary.LittleEndian.AppendUint16(e.b, uint16(v))
+		default:
+			e.u32(v)
+		}
+	}
+	return e.b
+}
+
+// colReader is the bounds-checked decode cursor: every read reports
+// truncation as an error instead of panicking, so any malformed file
+// degrades to ErrStoreCorrupt.
+type colReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *colReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *colReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("truncated at offset %d (+%d of %d)", r.off, n, len(r.b))
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *colReader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *colReader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *colReader) str() string {
+	n := int(r.u32())
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// decodeDictColumn reverses encodeDictColumn, expecting exactly n labels.
+func decodeDictColumn(payload []byte, n int) ([]string, error) {
+	r := &colReader{b: payload}
+	nd := int(r.u32())
+	if r.err == nil && (nd < 0 || nd > (len(payload)-r.off)/4) {
+		return nil, fmt.Errorf("dictionary size %d exceeds payload", nd)
+	}
+	dict := make([]string, 0, max(nd, 0))
+	for i := 0; i < nd && r.err == nil; i++ {
+		dict = append(dict, r.str())
+	}
+	if got := int(r.u32()); r.err == nil && got != n {
+		return nil, fmt.Errorf("dictionary column has %d entries, want %d", got, n)
+	}
+	w := dictIndexWidth(nd)
+	blk := r.take(w * n)
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]string, n)
+	for i := range out {
+		var v uint32
+		switch w {
+		case 1:
+			v = uint32(blk[i])
+		case 2:
+			v = uint32(binary.LittleEndian.Uint16(blk[i*2:]))
+		default:
+			v = binary.LittleEndian.Uint32(blk[i*4:])
+		}
+		if int(v) >= len(dict) {
+			return nil, fmt.Errorf("dictionary index %d outside dictionary of %d", v, len(dict))
+		}
+		out[i] = dict[v]
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("dictionary column has %d trailing bytes", len(payload)-r.off)
+	}
+	return out, nil
+}
+
+// encodeShardFile serializes one full (unsplit) shard view into the
+// columnar format. events is the total event count across the shard's
+// series; fp is the shard's content fingerprint.
+func encodeShardFile(sv *ShardView, shards int, events int64, fp uint64) []byte {
+	nf := len(sv.Functions)
+	e := &colBuf{b: make([]byte, 0, 64+16*nf+int(events)*8)}
+	e.b = append(e.b, storeMagic...)
+	e.u32(storeVersion)
+	e.u32(uint32(sv.Index))
+	e.u32(uint32(shards))
+	e.u32(uint32(sv.Slots))
+	e.u32(uint32(nf))
+	e.u64(uint64(events))
+	e.u64(fp)
+
+	block := func(id uint32, payload []byte) {
+		e.u32(id)
+		e.u64(uint64(len(payload)))
+		e.b = append(e.b, payload...)
+		e.u32(crc32.Checksum(payload, storeCastagnoli))
+	}
+
+	col := &colBuf{}
+	for _, g := range sv.Global {
+		col.u32(uint32(g))
+	}
+	block(colGlobals, col.b)
+
+	col = &colBuf{}
+	for _, f := range sv.Functions {
+		col.str(f.Name)
+	}
+	block(colNames, col.b)
+
+	labels := make([]string, nf)
+	for i, f := range sv.Functions {
+		labels[i] = f.App
+	}
+	block(colApps, encodeDictColumn(labels))
+	for i, f := range sv.Functions {
+		labels[i] = f.User
+	}
+	block(colUsers, encodeDictColumn(labels))
+	for i, f := range sv.Functions {
+		labels[i] = f.Trigger.String()
+	}
+	block(colTriggers, encodeDictColumn(labels))
+
+	col = &colBuf{b: make([]byte, 0, 4*nf)}
+	for _, s := range sv.Series {
+		col.u32(uint32(len(s)))
+	}
+	block(colSeriesLens, col.b)
+
+	col = &colBuf{b: make([]byte, 0, 4*int(events))}
+	for _, s := range sv.Series {
+		for _, ev := range s {
+			col.u32(uint32(ev.Slot))
+		}
+	}
+	block(colEventSlots, col.b)
+
+	col = &colBuf{b: make([]byte, 0, 4*int(events))}
+	for _, s := range sv.Series {
+		for _, ev := range s {
+			col.u32(uint32(ev.Count))
+		}
+	}
+	block(colEventCounts, col.b)
+
+	e.b = append(e.b, storeFooterMagic...)
+	e.u32(crc32.Checksum(e.b, storeCastagnoli))
+	return e.b
+}
+
+// decodeShardFile verifies and decodes one shard file. Any failure returns
+// an error wrapping ErrStoreCorrupt; wantShard/wantShards/wantSlots come
+// from the manifest, so a renamed or cross-store file is rejected too.
+func decodeShardFile(data []byte, wantShard, wantShards, wantSlots int, wantFP uint64) (*ShardView, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: shard %d: %s", ErrStoreCorrupt, wantShard, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(storeMagic)+36+len(storeFooterMagic)+4 {
+		return nil, corrupt("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(storeMagic)]) != storeMagic {
+		return nil, corrupt("wrong magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(storeMagic):]); v != storeVersion {
+		return nil, corrupt("format version %d, want %d", v, storeVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, storeCastagnoli) != sum {
+		return nil, corrupt("file checksum mismatch")
+	}
+	if string(body[len(body)-len(storeFooterMagic):]) != storeFooterMagic {
+		return nil, corrupt("missing footer")
+	}
+	body = body[:len(body)-len(storeFooterMagic)]
+
+	r := &colReader{b: body, off: len(storeMagic) + 4}
+	shard := int(r.u32())
+	shards := int(r.u32())
+	slots := int(r.u32())
+	nf := int(r.u32())
+	events := int64(r.u64())
+	fp := r.u64()
+	if r.err != nil {
+		return nil, corrupt("%v", r.err)
+	}
+	if shard != wantShard || shards != wantShards || slots != wantSlots || fp != wantFP {
+		return nil, corrupt("header (shard %d/%d, slots %d, fp %016x) contradicts manifest (shard %d/%d, slots %d, fp %016x)",
+			shard, shards, slots, fp, wantShard, wantShards, wantSlots, wantFP)
+	}
+	if events < 0 || events > int64(len(body)/8) {
+		return nil, corrupt("event count %d exceeds payload", events)
+	}
+
+	// Column blocks, fixed order, each CRC-verified before decoding.
+	payloads := make(map[uint32][]byte, numColumns)
+	for _, want := range []uint32{colGlobals, colNames, colApps, colUsers, colTriggers, colSeriesLens, colEventSlots, colEventCounts} {
+		id := r.u32()
+		n := int(r.u64())
+		payload := r.take(n)
+		blockSum := r.u32()
+		if r.err != nil {
+			return nil, corrupt("%v", r.err)
+		}
+		if id != want {
+			return nil, corrupt("column block %d out of order (want %d)", id, want)
+		}
+		if crc32.Checksum(payload, storeCastagnoli) != blockSum {
+			return nil, corrupt("column block %d checksum mismatch", id)
+		}
+		payloads[id] = payload
+	}
+	if r.off != len(body) {
+		return nil, corrupt("%d trailing bytes after columns", len(body)-r.off)
+	}
+
+	if len(payloads[colGlobals]) != 4*nf {
+		return nil, corrupt("globals column is %d bytes, want %d", len(payloads[colGlobals]), 4*nf)
+	}
+	global := make([]FuncID, nf)
+	prev := int64(-1)
+	for i := range global {
+		g := binary.LittleEndian.Uint32(payloads[colGlobals][i*4:])
+		if int64(g) <= prev {
+			return nil, corrupt("global ids not ascending at local %d", i)
+		}
+		prev = int64(g)
+		global[i] = FuncID(g)
+	}
+
+	nr := &colReader{b: payloads[colNames]}
+	names := make([]string, nf)
+	for i := range names {
+		names[i] = nr.str()
+	}
+	if nr.err != nil || nr.off != len(nr.b) {
+		return nil, corrupt("names column malformed")
+	}
+
+	apps, err := decodeDictColumn(payloads[colApps], nf)
+	if err != nil {
+		return nil, corrupt("apps column: %v", err)
+	}
+	users, err := decodeDictColumn(payloads[colUsers], nf)
+	if err != nil {
+		return nil, corrupt("users column: %v", err)
+	}
+	trigLabels, err := decodeDictColumn(payloads[colTriggers], nf)
+	if err != nil {
+		return nil, corrupt("triggers column: %v", err)
+	}
+
+	if len(payloads[colSeriesLens]) != 4*nf {
+		return nil, corrupt("series-length column is %d bytes, want %d", len(payloads[colSeriesLens]), 4*nf)
+	}
+	lens := make([]int, nf)
+	var total int64
+	for i := range lens {
+		lens[i] = int(binary.LittleEndian.Uint32(payloads[colSeriesLens][i*4:]))
+		total += int64(lens[i])
+	}
+	if total != events {
+		return nil, corrupt("series lengths sum to %d events, header says %d", total, events)
+	}
+	if len(payloads[colEventSlots]) != 4*int(events) || len(payloads[colEventCounts]) != 4*int(events) {
+		return nil, corrupt("event columns are %d+%d bytes, want %d each",
+			len(payloads[colEventSlots]), len(payloads[colEventCounts]), 4*int(events))
+	}
+
+	sub := NewTrace(slots)
+	sub.Functions = make([]Function, nf)
+	sub.Series = make([]Series, nf)
+	backing := make([]Event, events)
+	slotCol, countCol := payloads[colEventSlots], payloads[colEventCounts]
+	off := 0
+	for i := 0; i < nf; i++ {
+		trig, err := ParseTrigger(trigLabels[i])
+		if err != nil {
+			return nil, corrupt("function %d: %v", i, err)
+		}
+		sub.Functions[i] = Function{ID: FuncID(i), Name: names[i], App: apps[i], User: users[i], Trigger: trig}
+		s := backing[off : off+lens[i] : off+lens[i]]
+		prevSlot := int32(-1)
+		for j := range s {
+			slot := int32(binary.LittleEndian.Uint32(slotCol[(off+j)*4:]))
+			count := int32(binary.LittleEndian.Uint32(countCol[(off+j)*4:]))
+			if slot <= prevSlot || int(slot) >= slots || count <= 0 {
+				return nil, corrupt("function %d event %d (slot %d, count %d) violates series invariants", i, j, slot, count)
+			}
+			prevSlot = slot
+			s[j] = Event{Slot: slot, Count: count}
+		}
+		if lens[i] > 0 {
+			sub.Series[i] = Series(s)
+		}
+		off += lens[i]
+	}
+
+	sv := &ShardView{Trace: sub, Index: shard, Global: global}
+	if got := shardContentFingerprint(sv); got != fp {
+		return nil, corrupt("content fingerprint %016x does not match header %016x", got, fp)
+	}
+	return sv, nil
+}
+
+// storeShardMeta is one shard's manifest record.
+type storeShardMeta struct {
+	Functions int
+	Events    int64
+	ContentFP uint64
+}
+
+// Store is an opened, manifest-verified columnar shard store. It is an
+// immutable directory handle, safe for concurrent use: shard files are
+// never modified after ingest, so any number of goroutines (and processes)
+// can read shards at once.
+type Store struct {
+	dir       string
+	shards    int
+	functions int
+	slots     int
+	meta      []storeShardMeta
+}
+
+// encodeManifest serializes the store manifest:
+//
+//	magic[8] | version u32 | shards u32 | functions u64 | slots u32 |
+//	per shard (functions u32 | events u64 | contentFP u64) | CRC-32C u32
+func encodeManifest(s *Store) []byte {
+	e := &colBuf{b: make([]byte, 0, 32+20*len(s.meta))}
+	e.b = append(e.b, storeManifestTag...)
+	e.u32(storeVersion)
+	e.u32(uint32(s.shards))
+	e.u64(uint64(s.functions))
+	e.u32(uint32(s.slots))
+	for _, m := range s.meta {
+		e.u32(uint32(m.Functions))
+		e.u64(uint64(m.Events))
+		e.u64(m.ContentFP)
+	}
+	e.u32(crc32.Checksum(e.b, storeCastagnoli))
+	return e.b
+}
+
+// decodeManifest verifies and decodes a manifest file.
+func decodeManifest(dir string, data []byte) (*Store, error) {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: manifest: %s", ErrStoreCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(data) < len(storeManifestTag)+8 {
+		return nil, corrupt("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(storeManifestTag)]) != storeManifestTag {
+		return nil, corrupt("wrong magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(storeManifestTag):]); v != storeVersion {
+		return nil, corrupt("format version %d, want %d", v, storeVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, storeCastagnoli) != sum {
+		return nil, corrupt("checksum mismatch")
+	}
+	r := &colReader{b: body, off: len(storeManifestTag) + 4}
+	s := &Store{dir: dir}
+	s.shards = int(r.u32())
+	s.functions = int(int64(r.u64()))
+	s.slots = int(r.u32())
+	if r.err != nil {
+		return nil, corrupt("%v", r.err)
+	}
+	if s.shards <= 0 || s.functions < 0 || s.slots < 0 {
+		return nil, corrupt("implausible header (shards %d, functions %d, slots %d)", s.shards, s.functions, s.slots)
+	}
+	if s.shards > (len(body)-r.off)/20 {
+		return nil, corrupt("shard count %d exceeds payload", s.shards)
+	}
+	s.meta = make([]storeShardMeta, s.shards)
+	total := 0
+	for i := range s.meta {
+		s.meta[i] = storeShardMeta{
+			Functions: int(r.u32()),
+			Events:    int64(r.u64()),
+			ContentFP: r.u64(),
+		}
+		total += s.meta[i].Functions
+	}
+	if r.err != nil {
+		return nil, corrupt("%v", r.err)
+	}
+	if r.off != len(body) {
+		return nil, corrupt("%d trailing bytes", len(body)-r.off)
+	}
+	if total != s.functions {
+		return nil, corrupt("shard function counts sum to %d, header says %d", total, s.functions)
+	}
+	return s, nil
+}
+
+// OpenStore opens and verifies a columnar shard store directory: the
+// manifest must decode (magic, version, checksum, structural consistency)
+// and every shard file it names must exist. Shard contents are verified
+// lazily by ShardTrace — per-block and whole-file CRCs on every read — so
+// opening a large store stays O(P). A missing or failing store returns an
+// error wrapping ErrStoreCorrupt (a missing directory reports
+// os.ErrNotExist too); re-ingest the CSV to rebuild it.
+func OpenStore(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrStoreCorrupt, err)
+	}
+	s, err := decodeManifest(dir, data)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.shards; i++ {
+		if _, err := os.Stat(filepath.Join(dir, shardFileName(i))); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrStoreCorrupt, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NumShards returns the store's shard count (fixed at ingest time).
+func (s *Store) NumShards() int { return s.shards }
+
+// NumFunctions returns the total function count across all shards.
+func (s *Store) NumFunctions() int { return s.functions }
+
+// Slots returns the full trace length in slots (train plus simulation).
+func (s *Store) Slots() int { return s.slots }
+
+// TotalEvents sums the stored event counts across all shards.
+func (s *Store) TotalEvents() int64 {
+	var t int64
+	for _, m := range s.meta {
+		t += m.Events
+	}
+	return t
+}
+
+// ShardTrace reads, verifies, and decodes shard i's full (unsplit) view.
+// Each call re-reads the file — the O(n/P) residency contract — and any
+// verification failure returns an error wrapping ErrStoreCorrupt.
+func (s *Store) ShardTrace(i int) (*ShardView, error) {
+	if i < 0 || i >= s.shards {
+		return nil, fmt.Errorf("trace: store shard %d outside [0, %d)", i, s.shards)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, shardFileName(i)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrStoreCorrupt, err)
+	}
+	return decodeShardFile(data, i, s.shards, s.slots, s.meta[i].ContentFP)
+}
+
+// Source returns a sim.Source view of the store with the trace split at
+// trainSlots (0 yields no training half). The source is safe for
+// concurrent Shard calls and satisfies sim.SourceFingerprint, so
+// store-backed runs can use ShardCache/DiskCache.
+func (s *Store) Source(trainSlots int) (*StoreSource, error) {
+	if trainSlots < 0 || trainSlots >= s.slots {
+		return nil, fmt.Errorf("trace: store source train slots %d outside [0, %d)", trainSlots, s.slots)
+	}
+	return &StoreSource{store: s, trainSlots: trainSlots}, nil
+}
+
+// StoreSource adapts an opened Store to the sim.Source contract: Shard(i)
+// reads and verifies exactly one shard file and splits it at the source's
+// train boundary, so at most Workers shards' event series are resident at
+// once — O(n/P) per in-flight worker, with the CSV never reopened. Shard
+// fingerprints hash (stored content fingerprint, split point) under a
+// store-specific domain tag, distinct from generator and materialized-trace
+// fingerprints, so cache entries never alias across source kinds.
+type StoreSource struct {
+	store      *Store
+	trainSlots int
+}
+
+// NumShards implements sim.Source.
+func (ss *StoreSource) NumShards() int { return ss.store.shards }
+
+// NumFunctions implements sim.Source.
+func (ss *StoreSource) NumFunctions() int { return ss.store.functions }
+
+// Slots implements sim.Source: the simulation window length.
+func (ss *StoreSource) Slots() int { return ss.store.slots - ss.trainSlots }
+
+// TrainSlots returns the split point the source was built with.
+func (ss *StoreSource) TrainSlots() int { return ss.trainSlots }
+
+// Shard implements sim.Source: read, verify, decode, split.
+func (ss *StoreSource) Shard(i int) (train, sim *ShardView, err error) {
+	sv, err := ss.store.ShardTrace(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ss.trainSlots == 0 {
+		return nil, sv, nil
+	}
+	tr, sm := sv.Trace.Split(ss.trainSlots)
+	return &ShardView{Trace: tr, Index: i, Global: sv.Global},
+		&ShardView{Trace: sm, Index: i, Global: sv.Global}, nil
+}
+
+// ShardFingerprint implements sim.SourceFingerprint without touching the
+// shard file: the manifest's content fingerprint plus the split point
+// uniquely determine the train/sim pair Shard returns.
+func (ss *StoreSource) ShardFingerprint(i int) (uint64, bool) {
+	if i < 0 || i >= ss.store.shards {
+		return 0, false
+	}
+	h := fnv.New64a()
+	io.WriteString(h, fpDomainShard)
+	hashU64(h, ss.store.meta[i].ContentFP)
+	hashU64(h, uint64(ss.trainSlots))
+	hashU64(h, uint64(ss.store.slots))
+	return h.Sum64(), true
+}
+
+// writeStoreFile stages buf through a temp file and an atomic rename, so a
+// crash mid-write leaves stray garbage but never a live half-file.
+func writeStoreFile(dir, name string, buf []byte) error {
+	tmp, err := os.CreateTemp(dir, storeTmpPattern)
+	if err != nil {
+		return err
+	}
+	n, err := tmp.Write(buf)
+	if err == nil && n < len(buf) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -13,6 +13,13 @@
 //	res, _ := spes.Run(policy, train, simTr, spes.Options{})
 //	fmt.Println(res.QuantileCSR(0.75), res.MeanLoaded())
 //
+// Real traces are ingested once into a columnar shard store and simulated
+// from it many times without re-parsing the CSV:
+//
+//	st, _, _ := spes.IngestTraceCSV(csvFile, "./azstore", spes.TraceIngestOptions{Shards: 8})
+//	src, _ := st.Source(12 * 1440)                    // train/sim split in slots
+//	res, _ := spes.RunStreamed(policy, src, spes.Options{})
+//
 // Custom schedulers implement the Policy interface and run under the same
 // simulator and metrics; see examples/custompolicy.
 package spes
@@ -159,6 +166,53 @@ func Run(policy Policy, training, simTrace *Trace, opts Options) (*Result, error
 func RunAll(policies []Policy, training, simTrace *Trace, opts Options) ([]*Result, error) {
 	return sim.RunAll(policies, training, simTrace, opts)
 }
+
+// Source produces population shards on demand for RunStreamed: the
+// simulation pulls one shard's train/sim views at a time, so peak memory is
+// O(functions/shards) event series per worker, never the whole trace.
+// TraceStore.Source and the generator's streaming path both satisfy it.
+type Source = sim.Source
+
+// RunStreamed simulates the policy over a Source with the shard as the unit
+// of residency. Results are bit-identical to Run over the equivalent
+// materialized trace pair.
+func RunStreamed(policy Policy, src Source, opts Options) (*Result, error) {
+	return sim.RunStreamed(policy, src, opts)
+}
+
+// Columnar shard store types: real traces ingested once, simulated many
+// times without re-parsing the CSV.
+type (
+	// TraceStore is an on-disk columnar shard store built by IngestTraceCSV:
+	// one verified (CRC-32C per column block and per file) columnar file per
+	// app/user-closed shard plus a manifest. Open it with OpenTraceStore.
+	TraceStore = trace.Store
+	// TraceStoreSource adapts a TraceStore to the streamed simulation engine
+	// (Source) at a chosen train/sim split, serving content fingerprints so
+	// shard caches can key stored shards.
+	TraceStoreSource = trace.StoreSource
+	// TraceIngestOptions tunes IngestTraceCSV (shard count, spill budget).
+	TraceIngestOptions = trace.IngestOptions
+	// TraceIngestStats reports what an ingestion pass wrote.
+	TraceIngestStats = trace.IngestStats
+)
+
+// ErrTraceStoreCorrupt reports a store whose manifest or shard files fail
+// verification (torn write, bit rot, version skew). Matchable with
+// errors.Is; the remedy is re-ingesting the CSV — a corrupt store never
+// yields shard content.
+var ErrTraceStoreCorrupt = trace.ErrStoreCorrupt
+
+// IngestTraceCSV streams an Azure-schema CSV into a columnar shard store at
+// dir in one pass, partitioned into opts.Shards app/user-closed shards
+// (the same partition PartitionTrace computes). Memory stays bounded by the
+// spill budget regardless of CSV size.
+func IngestTraceCSV(r io.Reader, dir string, opts TraceIngestOptions) (*TraceStore, *TraceIngestStats, error) {
+	return trace.IngestCSV(r, dir, opts)
+}
+
+// OpenTraceStore opens an existing store directory, verifying its manifest.
+func OpenTraceStore(dir string) (*TraceStore, error) { return trace.OpenStore(dir) }
 
 // Sentinel errors of the sharded engine, matchable with errors.Is through
 // Run and RunAll's wrapping.
